@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Raw simulator performance (google-benchmark): simulated cycles per
+ * wall-clock second for representative machine shapes. Useful when
+ * changing hot pipeline code paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hh"
+#include "workload/mix.hh"
+
+namespace
+{
+
+void
+BM_TickThroughput(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    smt::SmtConfig cfg = smt::presets::icount28(threads);
+    smt::Simulator sim(cfg, smt::mixForRun(threads, 0));
+    sim.run(2000); // warm the machine.
+    for (auto _ : state) {
+        sim.run(1000);
+        benchmark::DoNotOptimize(sim.stats().committedInstructions);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+    state.counters["IPC"] = sim.stats().ipc();
+}
+
+void
+BM_ProgramGeneration(benchmark::State &state)
+{
+    const auto bench = smt::allBenchmarks()[static_cast<std::size_t>(
+        state.range(0))];
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        auto image = smt::generateProgram(
+            smt::benchmarkProfile(bench), seed++,
+            smt::AddressLayout::codeBase(0), smt::AddressLayout::dataBase(0),
+            smt::AddressLayout::stackBase(0));
+        benchmark::DoNotOptimize(image->numInsts());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_TickThroughput)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProgramGeneration)->Arg(0)->Arg(3)->Arg(6);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 7 register-file sensitivity: sweep the excess (renaming)
+ * registers per file — 70, 80, 90, 100, 140, effectively-infinite — on
+ * ICOUNT.2.8 at 8 threads (and 4 threads for the paper's "nearly
+ * identical" claim).
+ *
+ * Paper: infinite +2% over 100; 90 -> -1%, 80 -> -3%, 70 -> -6%;
+ * no sharp drop-off; 4-thread reductions nearly identical.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
+    const unsigned excess[] = {70, 80, 90, 100, 140, 1000};
+    const char *paper[] = {"-6%", "-3%", "-1%", "baseline", "n/a", "+2%"};
+
+    for (unsigned threads : {8u, 4u}) {
+        smt::SmtConfig base_cfg = smt::presets::icount28(threads);
+        const smt::DataPoint base = smt::measure(base_cfg, opts);
+
+        smt::Table table("Section 7: excess registers sweep, " +
+                         std::to_string(threads) + " threads");
+        table.setHeader({"excess regs/file", "IPC", "vs 100",
+                         "out-of-regs", "paper @8T"});
+        for (unsigned i = 0; i < 6; ++i) {
+            smt::SmtConfig cfg = base_cfg;
+            cfg.excessRegisters = excess[i];
+            const smt::DataPoint d =
+                excess[i] == 100 ? base : smt::measure(cfg, opts);
+            char delta[32];
+            std::snprintf(delta, sizeof delta, "%+.1f%%",
+                          100.0 * (d.ipc() / base.ipc() - 1.0));
+            const std::string label = excess[i] == 1000
+                                          ? "inf (1000)"
+                                          : std::to_string(excess[i]);
+            table.addRow({label, smt::fmtDouble(d.ipc(), 2), delta,
+                          smt::fmtPercent(
+                              d.stats.outOfRegistersFraction()),
+                          paper[i]});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    smt::printPaperNote(
+        "Sec 7 shape: graceful degradation as renaming registers shrink; "
+        "no sharp drop-off point; ICOUNT keeps pressure low");
+    return 0;
+}

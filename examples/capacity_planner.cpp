@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Capacity planner: given a fixed physical-register budget, find the
+ * number of hardware contexts that maximises throughput — the analysis
+ * of the paper's Figure 7 (200 registers, 1..5 contexts), generalised
+ * to any budget.
+ *
+ * Usage: capacity_planner [total_phys_regs] [max_contexts]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/mix_runner.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    const unsigned total =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 200;
+    const unsigned max_contexts =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 5;
+
+    smt::Table table("throughput under a fixed register budget");
+    table.setHeader({"contexts", "excess regs", "IPC",
+                     "out-of-registers"});
+
+    unsigned best_contexts = 0;
+    double best_ipc = 0.0;
+    for (unsigned t = 1; t <= max_contexts; ++t) {
+        if (total <= 32 * t) {
+            std::printf("%u contexts need more than %u registers; "
+                        "stopping.\n", t, total);
+            break;
+        }
+        smt::SmtConfig cfg = smt::presets::icount28(t);
+        cfg.totalPhysRegisters = total;
+        smt::MeasureOptions opts = smt::defaultMeasureOptions();
+        const smt::DataPoint point = smt::measure(cfg, opts);
+        table.addRow({std::to_string(t), std::to_string(total - 32 * t),
+                      smt::fmtDouble(point.ipc(), 2),
+                      smt::fmtPercent(
+                          point.stats.outOfRegistersFraction())});
+        if (point.ipc() > best_ipc) {
+            best_ipc = point.ipc();
+            best_contexts = t;
+        }
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("best: %u context(s) at %.2f IPC with %u total registers "
+                "per file\n", best_contexts, best_ipc, total);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload studio: inspect a synthetic benchmark — static program shape
+ * and the single-thread behaviour it induces on the base machine. Use
+ * this when tuning a BenchmarkProfile against characterisation targets
+ * (miss rates, branch mispredict rate, IPC).
+ *
+ * Usage: workload_studio [benchmark]
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+#include "workload/code_image.hh"
+
+int
+main(int argc, char **argv)
+{
+    const smt::Benchmark bench =
+        argc > 1 ? smt::benchmarkByName(argv[1]) : smt::Benchmark::Xlisp;
+    const smt::BenchmarkProfile &prof = smt::benchmarkProfile(bench);
+
+    auto image = smt::generateProgram(prof, /*seed=*/1,
+                                      smt::AddressLayout::codeBase(0),
+                                      smt::AddressLayout::dataBase(0),
+                                      smt::AddressLayout::stackBase(0));
+
+    // Static shape.
+    unsigned loads = 0, stores = 0, branches = 0, calls = 0, fp = 0;
+    for (std::size_t i = 0; i < image->numInsts(); ++i) {
+        const smt::StaticInst *si =
+            image->at(image->codeBase() + i * smt::kInstBytes);
+        if (si->isLoad()) ++loads;
+        if (si->isStore()) ++stores;
+        if (si->isCondBranch()) ++branches;
+        if (si->op == smt::OpClass::Call) ++calls;
+        if (smt::isFloatOp(si->op)) ++fp;
+    }
+    const double n = static_cast<double>(image->numInsts());
+    std::printf("benchmark %s: %zu static instructions (%.1f KB code)\n",
+                prof.name.c_str(), image->numInsts(),
+                image->codeBytes() / 1024.0);
+    std::printf("  static mix: %.1f%% loads, %.1f%% stores, %.1f%% cond "
+                "branches, %.1f%% calls, %.1f%% FP\n",
+                100 * loads / n, 100 * stores / n, 100 * branches / n,
+                100 * calls / n, 100 * fp / n);
+
+    // Single-thread dynamic behaviour on the base machine.
+    smt::SmtConfig cfg = smt::presets::baseSmt(1);
+    smt::Simulator sim(cfg, {bench});
+    sim.warmup(10000);
+    const smt::SimStats &stats = sim.run(60000);
+    std::printf("\nsingle-thread behaviour on the base machine:\n%s\n",
+                stats.report().c_str());
+    return 0;
+}

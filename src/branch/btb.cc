@@ -1,0 +1,86 @@
+#include "branch/btb.hh"
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+constexpr unsigned kTagBits = 10;
+
+} // namespace
+
+Btb::Btb(unsigned entries, unsigned assoc, bool thread_ids)
+    : assoc_(assoc), threadIds_(thread_ids)
+{
+    smt_assert(entries > 0 && assoc > 0 && entries % assoc == 0);
+    sets_ = entries / assoc;
+    smt_assert((sets_ & (sets_ - 1)) == 0, "BTB set count must be 2^n");
+    table_.resize(entries);
+}
+
+std::size_t
+Btb::index(Addr pc) const
+{
+    return (pc / kInstBytes) & (sets_ - 1);
+}
+
+std::uint32_t
+Btb::tagOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc / kInstBytes / sets_)
+                                      & ((1u << kTagBits) - 1));
+}
+
+Btb::Entry *
+Btb::lookupEntry(ThreadID tid, Addr pc)
+{
+    const std::size_t set = index(pc);
+    const std::uint32_t tag = tagOf(pc);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = table_[set * assoc_ + w];
+        if (e.valid && e.tag == tag && (!threadIds_ || e.tid == tid))
+            return &e;
+    }
+    return nullptr;
+}
+
+const Btb::Entry *
+Btb::lookup(ThreadID tid, Addr pc)
+{
+    Entry *e = lookupEntry(tid, pc);
+    if (e == nullptr)
+        return nullptr;
+    e->lru = ++lruClock_;
+    return e;
+}
+
+void
+Btb::update(ThreadID tid, Addr pc, Addr target, bool is_return)
+{
+    Entry *e = lookupEntry(tid, pc);
+    if (e == nullptr) {
+        // Victimise the LRU way of the set.
+        const std::size_t set = index(pc);
+        e = &table_[set * assoc_];
+        for (unsigned w = 1; w < assoc_; ++w) {
+            Entry &cand = table_[set * assoc_ + w];
+            if (!cand.valid) {
+                e = &cand;
+                break;
+            }
+            if (cand.lru < e->lru)
+                e = &cand;
+        }
+        e->valid = true;
+        e->tag = tagOf(pc);
+        e->tid = tid;
+    }
+    e->target = target;
+    e->isReturn = is_return;
+    e->lru = ++lruClock_;
+}
+
+} // namespace smt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch target buffer: 256 entries, 4-way set associative, LRU, with a
+ * thread id in each entry "to avoid predicting phantom branches"
+ * (Section 2).
+ *
+ * Entries are tagged with a *partial* tag (10 bits above the index),
+ * like real BTBs. With thread ids disabled, instructions from different
+ * threads can alias on (set, tag) and hit another thread's entry — a
+ * phantom branch whose bogus target the front end must discover and
+ * repair at decode.
+ */
+
+#ifndef SMT_BRANCH_BTB_HH
+#define SMT_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt
+{
+
+/** Set-associative branch target buffer. */
+class Btb
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        Addr target = 0;
+        ThreadID tid = 0;
+        bool isReturn = false;
+        std::uint64_t lru = 0;
+    };
+
+    Btb(unsigned entries, unsigned assoc, bool thread_ids);
+
+    /**
+     * Probe for `pc`. Without thread ids, an entry installed by any
+     * thread matches (phantom-branch hazard). Updates recency.
+     * @return the matching entry or nullptr.
+     */
+    const Entry *lookup(ThreadID tid, Addr pc);
+
+    /** Install or refresh the entry for a taken control instruction. */
+    void update(ThreadID tid, Addr pc, Addr target, bool is_return);
+
+    unsigned sets() const { return static_cast<unsigned>(sets_); }
+    unsigned assoc() const { return assoc_; }
+
+  private:
+    Entry *lookupEntry(ThreadID tid, Addr pc);
+    std::size_t index(Addr pc) const;
+    std::uint32_t tagOf(Addr pc) const;
+
+    unsigned assoc_;
+    bool threadIds_;
+    std::size_t sets_ = 0;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Entry> table_;
+};
+
+} // namespace smt
+
+#endif // SMT_BRANCH_BTB_HH

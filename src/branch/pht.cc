@@ -1,0 +1,52 @@
+#include "branch/pht.hh"
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+Pht::Pht(unsigned entries, unsigned history_bits)
+    : table_(entries, SatCounter(2, 2 /* weakly taken: loop-friendly */)),
+      mask_(entries - 1),
+      historyMask_((std::uint64_t{1} << history_bits) - 1)
+{
+    smt_assert(entries > 0 && (entries & (entries - 1)) == 0,
+               "PHT entries must be a power of two");
+    smt_assert(history_bits >= 1 && history_bits <= 20);
+}
+
+std::size_t
+Pht::index(Addr pc, std::uint64_t history) const
+{
+    return ((pc / kInstBytes) ^ history) & mask_;
+}
+
+bool
+Pht::predict(ThreadID tid, Addr pc) const
+{
+    return table_[index(pc, history_[tid])].isSet();
+}
+
+void
+Pht::update(Addr pc, std::uint64_t history, bool taken)
+{
+    SatCounter &ctr = table_[index(pc, history)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+void
+Pht::pushHistory(ThreadID tid, bool taken)
+{
+    history_[tid] = ((history_[tid] << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+void
+Pht::restoreHistory(ThreadID tid, std::uint64_t snapshot, bool taken)
+{
+    history_[tid] = ((snapshot << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+} // namespace smt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pattern history table: 2K x 2-bit counters indexed by the XOR of the
+ * branch address's low bits with the (per-context) global history
+ * register — the gshare organisation of McFarling cited in Section 2.1.
+ * The table itself is shared by all threads; only the history registers
+ * are per-context, so threads degrade each other through counter
+ * aliasing exactly as the paper's Table 3 shows.
+ */
+
+#ifndef SMT_BRANCH_PHT_HH
+#define SMT_BRANCH_PHT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace smt
+{
+
+/** gshare pattern history table with per-context global history. */
+class Pht
+{
+  public:
+    /**
+     * @param entries table size (power of two).
+     * @param history_bits global-history length; shorter histories
+     *        train much faster on loop-structured code (the counters
+     *        are still spread over the whole table via the XOR).
+     */
+    explicit Pht(unsigned entries, unsigned history_bits = 6);
+
+    /** Predicted direction for (thread, pc) under its current history. */
+    bool predict(ThreadID tid, Addr pc) const;
+
+    /**
+     * Train the counter for a resolved branch using the history the
+     * branch was predicted under.
+     */
+    void update(Addr pc, std::uint64_t history, bool taken);
+
+    /** History register value for a thread (snapshot before a branch). */
+    std::uint64_t history(ThreadID tid) const { return history_[tid]; }
+
+    /** Speculatively shift a predicted outcome into a thread's history. */
+    void pushHistory(ThreadID tid, bool taken);
+
+    /** Restore a thread's history after a squash: the snapshot taken at
+     *  the mispredicted branch, with the actual outcome appended. */
+    void restoreHistory(ThreadID tid, std::uint64_t snapshot, bool taken);
+
+    unsigned entries() const { return static_cast<unsigned>(table_.size()); }
+    std::uint64_t historyMask() const { return historyMask_; }
+
+  private:
+    std::size_t index(Addr pc, std::uint64_t history) const;
+
+    std::vector<SatCounter> table_;
+    std::uint64_t mask_;
+    std::uint64_t historyMask_;
+    std::array<std::uint64_t, kMaxThreads> history_{};
+};
+
+} // namespace smt
+
+#endif // SMT_BRANCH_PHT_HH

@@ -1,0 +1,129 @@
+#include "branch/predictor.hh"
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+BranchPredictor::BranchPredictor(const SmtConfig &cfg)
+    : perfect_(cfg.perfectBranchPrediction),
+      btb_(cfg.btbEntries, cfg.btbAssoc, cfg.btbThreadIds),
+      pht_(cfg.phtEntries, cfg.phtHistoryBits)
+{
+    ras_.reserve(kMaxThreads);
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        ras_.emplace_back(cfg.rasEntries);
+}
+
+FetchPrediction
+BranchPredictor::predict(ThreadID tid, Addr pc, const StaticInst &si,
+                         bool actual_taken, Addr actual_target)
+{
+    FetchPrediction fp;
+    fp.historySnapshot = pht_.history(tid);
+    fp.rasCheckpoint = ras_[tid].tosCheckpoint();
+
+    if (perfect_) {
+        fp.predTaken = actual_taken;
+        fp.predTarget = actual_taken ? actual_target : kNoAddr;
+        if (si.isCondBranch())
+            pht_.pushHistory(tid, actual_taken);
+        // Keep the RAS coherent anyway (harmless; unused for prediction).
+        if (si.op == OpClass::Call)
+            ras_[tid].push(pc + kInstBytes);
+        else if (si.op == OpClass::Return)
+            ras_[tid].pop();
+        return fp;
+    }
+
+    switch (si.op) {
+      case OpClass::CondBranch: {
+        fp.predTaken = pht_.predict(tid, pc);
+        pht_.pushHistory(tid, fp.predTaken);
+        if (fp.predTaken) {
+            const Btb::Entry *e = btb_.lookup(tid, pc);
+            fp.predTarget = e != nullptr ? e->target : kNoAddr;
+        }
+        break;
+      }
+      case OpClass::Jump:
+      case OpClass::Call: {
+        fp.predTaken = true;
+        const Btb::Entry *e = btb_.lookup(tid, pc);
+        fp.predTarget = e != nullptr ? e->target : kNoAddr;
+        if (si.op == OpClass::Call)
+            ras_[tid].push(pc + kInstBytes);
+        break;
+      }
+      case OpClass::Return: {
+        fp.predTaken = true;
+        fp.predTarget = ras_[tid].pop();
+        if (fp.predTarget == 0)
+            fp.predTarget = kNoAddr; // cold stack.
+        break;
+      }
+      case OpClass::IndirectJump: {
+        fp.predTaken = true;
+        const Btb::Entry *e = btb_.lookup(tid, pc);
+        fp.predTarget = e != nullptr ? e->target : kNoAddr;
+        break;
+      }
+      default:
+        smt_panic("predict() on a non-control instruction");
+    }
+    return fp;
+}
+
+void
+BranchPredictor::resolveCondBranch(ThreadID tid, Addr pc,
+                                   std::uint64_t history_snapshot,
+                                   bool taken, Addr target)
+{
+    if (perfect_)
+        return;
+    pht_.update(pc, history_snapshot, taken);
+    if (taken)
+        btb_.update(tid, pc, target, false);
+}
+
+void
+BranchPredictor::updateTarget(ThreadID tid, Addr pc, Addr target,
+                              bool is_return)
+{
+    if (perfect_)
+        return;
+    btb_.update(tid, pc, target, is_return);
+}
+
+void
+BranchPredictor::misfetchRepair(ThreadID tid, const StaticInst &si, Addr pc,
+                                std::uint64_t history_snapshot,
+                                bool pred_taken, unsigned ras_checkpoint)
+{
+    if (perfect_)
+        return;
+    if (si.isCondBranch()) {
+        pht_.restoreHistory(tid, history_snapshot, pred_taken);
+    } else {
+        // Non-conditional transfers do not push history; just restore.
+        pht_.restoreHistory(tid, history_snapshot >> 1,
+                            history_snapshot & 1);
+    }
+    ras_[tid].restore(ras_checkpoint);
+    if (si.op == OpClass::Call)
+        ras_[tid].push(pc + kInstBytes);
+    else if (si.op == OpClass::Return)
+        ras_[tid].pop();
+}
+
+void
+BranchPredictor::squashRepair(ThreadID tid, std::uint64_t history_snapshot,
+                              bool actual_taken, unsigned ras_checkpoint)
+{
+    if (perfect_)
+        return;
+    pht_.restoreHistory(tid, history_snapshot, actual_taken);
+    ras_[tid].restore(ras_checkpoint);
+}
+
+} // namespace smt

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * BranchPredictor: the decoupled BTB + PHT + return-stack organisation
+ * of Section 2.1, behind one facade the fetch unit drives.
+ *
+ * Fetch-time flow for a control instruction at pc:
+ *  - conditional branch: PHT gives the direction; if taken, the BTB must
+ *    supply the target (a BTB miss on a predicted-taken branch is a
+ *    *misfetch* repaired at decode for a 2-cycle penalty);
+ *  - direct jump/call: target comes from the BTB (miss -> misfetch);
+ *  - return: the per-context return stack supplies the target;
+ *  - indirect jump: the BTB supplies the last seen target.
+ *
+ * A `perfect` mode (Section 7's branch-prediction probe) returns the
+ * oracle outcome the caller passes in.
+ */
+
+#ifndef SMT_BRANCH_PREDICTOR_HH
+#define SMT_BRANCH_PREDICTOR_HH
+
+#include <vector>
+
+#include "branch/btb.hh"
+#include "branch/pht.hh"
+#include "branch/ras.hh"
+#include "config/config.hh"
+#include "isa/static_inst.hh"
+
+namespace smt
+{
+
+/** What the front end learned about one fetched control instruction. */
+struct FetchPrediction
+{
+    bool predTaken = false;   ///< predicted direction (true for all
+                              ///< unconditional transfers).
+    Addr predTarget = kNoAddr; ///< predicted destination; kNoAddr means
+                               ///< the target is unknown (misfetch: the
+                               ///< front end continues at fall-through
+                               ///< and decode repairs it).
+    std::uint64_t historySnapshot = 0; ///< GHR before this branch.
+    unsigned rasCheckpoint = 0;        ///< TOS before this instruction.
+};
+
+/** The complete branch prediction machinery of the modelled machine. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const SmtConfig &cfg);
+
+    /**
+     * Predict a control instruction at fetch.
+     * @param actual_taken / actual_target oracle outcome, used only in
+     *        perfect mode (pass anything for wrong-path fetches: perfect
+     *        mode never fetches wrong paths).
+     */
+    FetchPrediction predict(ThreadID tid, Addr pc, const StaticInst &si,
+                            bool actual_taken, Addr actual_target);
+
+    /**
+     * Resolve a conditional branch: train the PHT with the history it
+     * was predicted under and (for taken branches) install the BTB
+     * entry. Call at commit for correct-path branches.
+     */
+    void resolveCondBranch(ThreadID tid, Addr pc,
+                           std::uint64_t history_snapshot, bool taken,
+                           Addr target);
+
+    /** Install/refresh a BTB entry (direct targets known at decode;
+     *  indirect targets known at execute). */
+    void updateTarget(ThreadID tid, Addr pc, Addr target, bool is_return);
+
+    /** Repair a thread's global history after a squash. */
+    void squashRepair(ThreadID tid, std::uint64_t history_snapshot,
+                      bool actual_taken, unsigned ras_checkpoint);
+
+    /**
+     * Repair after a decode-stage misfetch redirect: dropped younger
+     * instructions may have pushed the history/return stack. State is
+     * restored to just after the redirecting instruction's own effect.
+     */
+    void misfetchRepair(ThreadID tid, const StaticInst &si, Addr pc,
+                        std::uint64_t history_snapshot, bool pred_taken,
+                        unsigned ras_checkpoint);
+
+    bool perfect() const { return perfect_; }
+
+    Pht &pht() { return pht_; }
+    Btb &btb() { return btb_; }
+    ReturnStack &ras(ThreadID tid) { return ras_[tid]; }
+
+  private:
+    bool perfect_;
+    Btb btb_;
+    Pht pht_;
+    std::vector<ReturnStack> ras_;
+};
+
+} // namespace smt
+
+#endif // SMT_BRANCH_PREDICTOR_HH

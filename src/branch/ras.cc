@@ -1,0 +1,4 @@
+// ReturnStack is header-only; this translation unit exists so the
+// branch library always has at least one object per component and to
+// host any future out-of-line growth.
+#include "branch/ras.hh"

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-context return address stack: 12 entries (Section 2.1). The stack
+ * is a circular buffer that silently wraps on overflow, like real
+ * hardware; a simple top-of-stack pointer checkpoint supports squash
+ * repair (contents corruption by wrong-path pushes/pops remains — also
+ * like real hardware of the era).
+ */
+
+#ifndef SMT_BRANCH_RAS_HH
+#define SMT_BRANCH_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt
+{
+
+/** A circular return-address stack for one hardware context. */
+class ReturnStack
+{
+  public:
+    explicit ReturnStack(unsigned entries = 12)
+        : stack_(entries, 0)
+    {
+    }
+
+    /** Push a return address (on fetching a call). */
+    void
+    push(Addr return_pc)
+    {
+        tos_ = (tos_ + 1) % stack_.size();
+        stack_[tos_] = return_pc;
+    }
+
+    /** Predicted target for a return; pops. Returns 0 when empty-ish
+     *  (a wrapped stack can't detect emptiness — hardware doesn't). */
+    Addr
+    pop()
+    {
+        const Addr top = stack_[tos_];
+        tos_ = (tos_ + stack_.size() - 1) % stack_.size();
+        return top;
+    }
+
+    /** Checkpoint of the TOS pointer, stored with each branch. */
+    unsigned tosCheckpoint() const { return tos_; }
+
+    /** Restore the TOS pointer after a squash. */
+    void restore(unsigned checkpoint) { tos_ = checkpoint; }
+
+    unsigned entries() const { return static_cast<unsigned>(stack_.size()); }
+
+  private:
+    std::vector<Addr> stack_;
+    unsigned tos_ = 0;
+};
+
+} // namespace smt
+
+#endif // SMT_BRANCH_RAS_HH

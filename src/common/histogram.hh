@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A tiny fixed-bucket histogram used by the statistics package for
+ * occupancy distributions (queue population, registers in use, ...).
+ */
+
+#ifndef SMT_COMMON_HISTOGRAM_HH
+#define SMT_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+/** Histogram over [0, buckets); samples beyond the top land in the last. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 64)
+        : counts_(buckets, 0)
+    {
+        smt_assert(buckets > 0);
+    }
+
+    void
+    sample(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        const std::size_t idx =
+            value < counts_.size() ? static_cast<std::size_t>(value)
+                                   : counts_.size() - 1;
+        counts_[idx] += weight;
+        sum_ += value * weight;
+        samples_ += weight;
+    }
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return samples_ == 0
+                   ? 0.0
+                   : static_cast<double>(sum_) / static_cast<double>(samples_);
+    }
+
+    std::uint64_t
+    bucket(std::size_t idx) const
+    {
+        smt_assert(idx < counts_.size());
+        return counts_[idx];
+    }
+
+    std::size_t buckets() const { return counts_.size(); }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        sum_ = 0;
+        samples_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+} // namespace smt
+
+#endif // SMT_COMMON_HISTOGRAM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error and status reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — a simulator bug: a condition that must never occur regardless
+ *            of user input. Aborts (so a debugger/core dump is useful).
+ * fatal()  — a user error (bad configuration, impossible parameter
+ *            combination). Exits with status 1.
+ * warn()   — something suspicious but survivable.
+ * inform() — plain status output.
+ */
+
+#ifndef SMT_COMMON_LOGGING_HH
+#define SMT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace smt
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace smt
+
+#define smt_panic(...) ::smt::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define smt_fatal(...) ::smt::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define smt_warn(...) ::smt::warnImpl(__VA_ARGS__)
+#define smt_inform(...) ::smt::informImpl(__VA_ARGS__)
+
+/**
+ * Assert a simulator invariant; compiled in all build types. Optional
+ * printf-style arguments add context before the panic.
+ */
+#define smt_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            __VA_OPT__(::smt::warnImpl(__VA_ARGS__);)                       \
+            ::smt::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion failed: %s", #cond);                \
+        }                                                                   \
+    } while (0)
+
+#endif // SMT_COMMON_LOGGING_HH

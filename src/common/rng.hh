@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Everything in smtsim that needs randomness (program generation, branch
+ * behaviour, data-address streams) draws from an Rng seeded explicitly, so
+ * a simulation is reproducible bit-for-bit from (config, seed).
+ *
+ * The generator is xoshiro256**, which is fast, has 256 bits of state and
+ * excellent statistical quality — more than enough for driving synthetic
+ * workloads.
+ */
+
+#ifndef SMT_COMMON_RNG_HH
+#define SMT_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+/** Deterministic xoshiro256** PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialise the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion, the canonical way to seed xoshiro.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        smt_assert(bound > 0);
+        // Multiplicative range reduction (Lemire); bias is negligible for
+        // the bounds used in workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next64()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        smt_assert(hi >= lo);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish positive integer with the given mean (>= 1).
+     * Used for dependence distances and basic-block lengths.
+     */
+    unsigned
+    geometric(double mean)
+    {
+        smt_assert(mean >= 1.0);
+        if (mean <= 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        unsigned n = 1;
+        // Cap the tail so a pathological draw cannot run away.
+        while (n < 64 && !chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Stateless 64-bit mixing hash. Used to derive deterministic per-instance
+ * pseudo-random values (e.g. wrong-path load addresses keyed by PC and
+ * sequence number) without carrying generator state.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace smt
+
+#endif // SMT_COMMON_RNG_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * An n-bit saturating up/down counter, as used in branch predictors.
+ */
+
+#ifndef SMT_COMMON_SAT_COUNTER_HH
+#define SMT_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+/** An n-bit saturating counter (1 <= bits <= 8). */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : max_(static_cast<std::uint8_t>((1u << bits) - 1)), value_(initial)
+    {
+        smt_assert(bits >= 1 && bits <= 8);
+        smt_assert(initial <= max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** True when the counter is in its upper half (e.g. predict taken). */
+    bool isSet() const { return value_ > max_ / 2; }
+
+    std::uint8_t value() const { return value_; }
+    std::uint8_t max() const { return max_; }
+
+    void
+    set(std::uint8_t v)
+    {
+        smt_assert(v <= max_);
+        value_ = v;
+    }
+
+  private:
+    std::uint8_t max_;
+    std::uint8_t value_;
+};
+
+} // namespace smt
+
+#endif // SMT_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every smtsim module.
+ *
+ * The simulator is cycle-accurate: all timing is expressed in machine
+ * cycles of type Cycle. Addresses are byte addresses in a flat 64-bit
+ * space; each simulated thread owns disjoint code and data regions.
+ */
+
+#ifndef SMT_COMMON_TYPES_HH
+#define SMT_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace smt
+{
+
+/** A machine cycle number (monotonically increasing from 0). */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated flat address space. */
+using Addr = std::uint64_t;
+
+/** Hardware context (thread slot) identifier, 0-based. */
+using ThreadID = std::uint8_t;
+
+/** Dynamic instruction sequence number, unique per simulation. */
+using InstSeqNum = std::uint64_t;
+
+/** A logical (architectural) register index within one register file. */
+using LogRegIndex = std::uint8_t;
+
+/** A physical register index within one renamed register file. */
+using PhysRegIndex = std::uint16_t;
+
+/** Sentinel for "no register". */
+constexpr LogRegIndex kNoLogReg = std::numeric_limits<LogRegIndex>::max();
+constexpr PhysRegIndex kNoPhysReg = std::numeric_limits<PhysRegIndex>::max();
+
+/** Sentinel cycle meaning "never" / "not scheduled". */
+constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel address. */
+constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Number of architectural registers per file (Alpha-like ISA). */
+constexpr unsigned kLogRegsPerFile = 32;
+
+/** Instruction size in bytes (fixed-width RISC encoding). */
+constexpr unsigned kInstBytes = 4;
+
+/** Maximum number of hardware contexts the structures are sized for. */
+constexpr unsigned kMaxThreads = 8;
+
+} // namespace smt
+
+#endif // SMT_COMMON_TYPES_HH

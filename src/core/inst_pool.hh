@@ -1,0 +1,53 @@
+/**
+ * @file
+ * InstPool: a recycling allocator for DynInst. The simulator creates and
+ * destroys millions of dynamic instructions; pooling keeps that off the
+ * general-purpose heap and guarantees stable addresses for the raw
+ * pointers held by the pipeline containers.
+ */
+
+#ifndef SMT_CORE_INST_POOL_HH
+#define SMT_CORE_INST_POOL_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+
+namespace smt
+{
+
+/** Recycling DynInst allocator with stable addresses. */
+class InstPool
+{
+  public:
+    DynInst *
+    alloc()
+    {
+        if (free_.empty()) {
+            storage_.emplace_back();
+            return &storage_.back();
+        }
+        DynInst *inst = free_.back();
+        free_.pop_back();
+        return inst;
+    }
+
+    void
+    release(DynInst *inst)
+    {
+        inst->reset();
+        free_.push_back(inst);
+    }
+
+    std::size_t allocated() const { return storage_.size(); }
+    std::size_t live() const { return storage_.size() - free_.size(); }
+
+  private:
+    std::deque<DynInst> storage_; ///< deque: stable element addresses.
+    std::vector<DynInst *> free_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_INST_POOL_HH

@@ -1,0 +1,30 @@
+#include "core/instruction_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+void
+InstructionQueue::remove(DynInst *inst)
+{
+    auto it = std::find(queue_.begin(), queue_.end(), inst);
+    smt_assert(it != queue_.end(), "instruction not in queue");
+    queue_.erase(it);
+}
+
+void
+InstructionQueue::oldestPositions(std::size_t out[kMaxThreads]) const
+{
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        out[t] = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const DynInst *inst = queue_[i];
+        if (inst->stage == InstStage::InQueue && out[inst->tid] == queue_.size())
+            out[inst->tid] = i;
+    }
+}
+
+} // namespace smt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * InstructionQueue: one of the two queues of Section 2.1 (integer +
+ * load/store, or floating point). Entries are age-ordered; issue
+ * selection may only search the first `searchWindow` entries — the BIGQ
+ * scheme of Section 5.3 doubles the entry count while keeping the
+ * search window at 32, turning the back half into a dispatch buffer.
+ */
+
+#ifndef SMT_CORE_INSTRUCTION_QUEUE_HH
+#define SMT_CORE_INSTRUCTION_QUEUE_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+
+namespace smt
+{
+
+/** An age-ordered instruction queue with a bounded search window. */
+class InstructionQueue
+{
+  public:
+    InstructionQueue(unsigned entries, unsigned search_window)
+        : entries_(entries), searchWindow_(search_window)
+    {
+        queue_.reserve(entries);
+    }
+
+    bool full() const { return queue_.size() >= entries_; }
+    std::size_t size() const { return queue_.size(); }
+    unsigned capacity() const { return entries_; }
+
+    /** Insert at the tail (dispatch). Caller checks full() first. */
+    void
+    insert(DynInst *inst)
+    {
+        queue_.push_back(inst);
+    }
+
+    /** Remove a specific instruction (issue-complete or squash). */
+    void remove(DynInst *inst);
+
+    /** Remove every instruction satisfying `pred` (bulk squash). */
+    template <typename Pred>
+    void
+    removeIf(Pred pred)
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            if (!pred(queue_[i]))
+                queue_[out++] = queue_[i];
+        }
+        queue_.resize(out);
+    }
+
+    /** The searchable (issuable) prefix length. */
+    std::size_t
+    searchLimit() const
+    {
+        return std::min<std::size_t>(queue_.size(), searchWindow_);
+    }
+
+    DynInst *at(std::size_t idx) const { return queue_[idx]; }
+
+    /**
+     * Position (0 = head = oldest) of the first not-yet-issued entry of
+     * each thread; kMaxThreads-sized output, entry = queue size when the
+     * thread has nothing here. Used by the IQPOSN fetch policy.
+     */
+    void oldestPositions(std::size_t out[kMaxThreads]) const;
+
+  private:
+    unsigned entries_;
+    unsigned searchWindow_;
+    std::vector<DynInst *> queue_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_INSTRUCTION_QUEUE_HH

@@ -1,0 +1,41 @@
+#include "isa/latency.hh"
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+unsigned
+opLatency(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 8;
+      case OpClass::IntMultLong: return 16;
+      case OpClass::CondMove: return 2;
+      case OpClass::Compare: return 0;
+      case OpClass::FpAlu: return 4;
+      case OpClass::FpDiv: return 17;
+      case OpClass::FpDivLong: return 30;
+      case OpClass::Load: return 1;     // D-cache hit (Table 1).
+      case OpClass::Store: return 1;
+      case OpClass::CondBranch: return 1;
+      case OpClass::Jump: return 1;
+      case OpClass::Call: return 1;
+      case OpClass::Return: return 1;
+      case OpClass::IndirectJump: return 1;
+      case OpClass::NumOpClasses: break;
+    }
+    smt_panic("bad op class %u", static_cast<unsigned>(c));
+}
+
+unsigned
+opIssueOccupancy(OpClass c)
+{
+    (void)c;
+    // "We assume that all functional units are completely pipelined"
+    // (Section 2.1), so each op occupies its unit for one cycle.
+    return 1;
+}
+
+} // namespace smt

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Execution latencies per operation class — Table 1 of the paper,
+ * derived from the Alpha 21164.
+ *
+ * The latency is the number of cycles after issue before a dependent
+ * instruction may issue (given the paper's predetermined-latency wakeup).
+ * Loads use the D-cache model instead; the value here is the 1-cycle hit
+ * assumption used for optimistic scheduling.
+ */
+
+#ifndef SMT_ISA_LATENCY_HH
+#define SMT_ISA_LATENCY_HH
+
+#include "isa/op_class.hh"
+
+namespace smt
+{
+
+/** Result latency in cycles for an op class (Table 1). */
+unsigned opLatency(OpClass c);
+
+/** Cycles a fully pipelined functional unit is occupied per op (always 1,
+ *  as the paper assumes completely pipelined units). */
+unsigned opIssueOccupancy(OpClass c);
+
+} // namespace smt
+
+#endif // SMT_ISA_LATENCY_HH

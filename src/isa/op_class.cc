@@ -1,0 +1,64 @@
+#include "isa/op_class.hh"
+
+namespace smt
+{
+
+bool
+isControl(OpClass c)
+{
+    switch (c) {
+      case OpClass::CondBranch:
+      case OpClass::Jump:
+      case OpClass::Call:
+      case OpClass::Return:
+      case OpClass::IndirectJump:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isIndirectControl(OpClass c)
+{
+    return c == OpClass::Return || c == OpClass::IndirectJump;
+}
+
+bool
+isFloatOp(OpClass c)
+{
+    switch (c) {
+      case OpClass::FpAlu:
+      case OpClass::FpDiv:
+      case OpClass::FpDivLong:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "int";
+      case OpClass::IntMult: return "imul";
+      case OpClass::IntMultLong: return "imull";
+      case OpClass::CondMove: return "cmov";
+      case OpClass::Compare: return "cmp";
+      case OpClass::FpAlu: return "fp";
+      case OpClass::FpDiv: return "fdiv";
+      case OpClass::FpDivLong: return "fdivl";
+      case OpClass::Load: return "ld";
+      case OpClass::Store: return "st";
+      case OpClass::CondBranch: return "br";
+      case OpClass::Jump: return "jmp";
+      case OpClass::Call: return "call";
+      case OpClass::Return: return "ret";
+      case OpClass::IndirectJump: return "ijmp";
+      case OpClass::NumOpClasses: break;
+    }
+    return "?";
+}
+
+} // namespace smt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * StaticInst: one instruction of a generated code image.
+ *
+ * A static instruction is immutable once the workload generator has built
+ * the program. Operand registers are logical (architectural) indices; the
+ * rename stage maps them onto physical registers per thread. The `annot`
+ * field is an opaque index into workload-side behaviour tables (branch
+ * bias, load/store access pattern); the core never interprets it.
+ */
+
+#ifndef SMT_ISA_STATIC_INST_HH
+#define SMT_ISA_STATIC_INST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace smt
+{
+
+/** Identifies which register file an operand lives in. */
+enum class RegFile : std::uint8_t { Int, Fp };
+
+/** One logical register operand. */
+struct LogReg
+{
+    LogRegIndex index = kNoLogReg;
+    RegFile file = RegFile::Int;
+
+    bool valid() const { return index != kNoLogReg; }
+
+    static LogReg
+    intReg(LogRegIndex i)
+    {
+        return {i, RegFile::Int};
+    }
+
+    static LogReg
+    fpReg(LogRegIndex i)
+    {
+        return {i, RegFile::Fp};
+    }
+
+    static LogReg none() { return {}; }
+};
+
+/** An instruction of the static code image. */
+struct StaticInst
+{
+    OpClass op = OpClass::IntAlu;
+    LogReg dest;              ///< destination register, if any.
+    LogReg src1;              ///< first source, if any.
+    LogReg src2;              ///< second source, if any.
+    Addr target = kNoAddr;    ///< taken target for direct control flow;
+                              ///< callee entry for calls; kNoAddr for
+                              ///< returns/indirect jumps.
+    std::uint32_t annot = 0;  ///< workload behaviour-table index.
+
+    bool isControl() const { return smt::isControl(op); }
+    bool isCondBranch() const { return smt::isCondBranch(op); }
+    bool isMemory() const { return smt::isMemory(op); }
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+
+    /** Instructions the fetch unit cannot resolve without the BTB/RAS. */
+    bool
+    needsTargetPrediction() const
+    {
+        return isIndirectControl(op);
+    }
+
+    /** Goes to the FP instruction queue? (Loads/stores go to the integer
+     *  queue regardless of destination file — Section 2.1.) */
+    bool
+    usesFpQueue() const
+    {
+        return isFloatOp(op);
+    }
+};
+
+} // namespace smt
+
+#endif // SMT_ISA_STATIC_INST_HH

@@ -1,0 +1,108 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+MemoryHierarchy::MemoryHierarchy(const SmtConfig &cfg, SimStats &stats)
+    : cfg_(cfg), stats_(stats),
+      itlb_(cfg.itlbEntries, cfg.pageBytes, stats.itlb),
+      dtlb_(cfg.dtlbEntries, cfg.pageBytes, stats.dtlb),
+      tlbMissPenalty_(2 * (cfg.icache.latencyToNext + cfg.l2.latencyToNext
+                           + cfg.l3.latencyToNext))
+{
+    const bool inf = cfg.infiniteCacheBandwidth;
+    // Memory behind L3: latency is L3's latencyToNext; occupancy is the
+    // L3 fill time (Table 2's 8-cycle cache fill models the memory bus).
+    l3_ = std::make_unique<BankedCache>(cfg.l3, nullptr,
+                                        cfg.l3.latencyToNext,
+                                        cfg.l3.fillCycles,
+                                        /*reject_on_conflict=*/false, inf,
+                                        stats.l3);
+    l2_ = std::make_unique<BankedCache>(cfg.l2, l3_.get(), 0, 0,
+                                        /*reject_on_conflict=*/false, inf,
+                                        stats.l2);
+    icache_ = std::make_unique<BankedCache>(cfg.icache, l2_.get(), 0, 0,
+                                            /*reject_on_conflict=*/true,
+                                            inf, stats.icache);
+    dcache_ = std::make_unique<BankedCache>(cfg.dcache, l2_.get(), 0, 0,
+                                            /*reject_on_conflict=*/true,
+                                            inf, stats.dcache);
+}
+
+MemAccessResult
+MemoryHierarchy::fetchAccess(ThreadID tid, Addr addr, Cycle now)
+{
+    MemAccessResult res;
+
+    // A TLB miss costs two full memory accesses (Section 2.1). The
+    // penalty is added to the completion time; the cache access itself
+    // proceeds at `now` so bank/port arbitration stays in present time.
+    const unsigned penalty =
+        itlb_.translate(tid, addr) ? 0 : tlbMissPenalty_;
+
+    const BankedCache::Result r = icache_->access(addr, now, false);
+    if (r.conflict) {
+        res.bankConflict = true;
+        return res;
+    }
+    res.l1Hit = r.hit && penalty == 0;
+    res.ready = r.ready + penalty;
+    return res;
+}
+
+bool
+MemoryHierarchy::icacheWouldHit(Addr addr) const
+{
+    return icache_->wouldHit(addr);
+}
+
+unsigned
+MemoryHierarchy::icacheBank(Addr addr) const
+{
+    return static_cast<unsigned>((addr / cfg_.icache.lineBytes)
+                                 % cfg_.icache.banks);
+}
+
+MemAccessResult
+MemoryHierarchy::dataAccess(ThreadID tid, Addr addr, bool is_store,
+                            Cycle now)
+{
+    MemAccessResult res;
+
+    const unsigned penalty =
+        dtlb_.translate(tid, addr) ? 0 : tlbMissPenalty_;
+
+    const BankedCache::Result r = dcache_->access(addr, now, is_store);
+    if (r.conflict) {
+        res.bankConflict = true;
+        return res;
+    }
+    res.l1Hit = r.hit && penalty == 0;
+    res.ready = r.ready + penalty;
+
+    if (!res.l1Hit && !is_store && tid < kMaxThreads)
+        outstanding_[tid].push_back(res.ready);
+    return res;
+}
+
+unsigned
+MemoryHierarchy::outstandingDMisses(ThreadID tid, Cycle now)
+{
+    pruneMisses(tid, now);
+    return static_cast<unsigned>(outstanding_[tid].size());
+}
+
+void
+MemoryHierarchy::pruneMisses(ThreadID tid, Cycle now)
+{
+    auto &v = outstanding_[tid];
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [now](Cycle c) { return c <= now; }),
+            v.end());
+}
+
+} // namespace smt

@@ -1,0 +1,60 @@
+#include "mem/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned s = 0;
+    while ((1ull << s) < v)
+        ++s;
+    smt_assert((1ull << s) == v, "value must be a power of two");
+    return s;
+}
+
+} // namespace
+
+Tlb::Tlb(unsigned entries, unsigned page_bytes, TlbStats &stats)
+    : pageShift_(log2Exact(page_bytes)), tags_(entries), stats_(stats)
+{
+    smt_assert(entries > 0);
+}
+
+bool
+Tlb::translate(ThreadID tid, Addr vaddr)
+{
+    ++stats_.accesses;
+    const Addr vpn = vaddr >> pageShift_;
+
+    for (Entry &e : tags_) {
+        if (e.valid && e.tid == tid && e.vpn == vpn) {
+            e.lru = ++lruClock_;
+            return true;
+        }
+    }
+
+    Entry *victim = &tags_[0];
+    for (Entry &e : tags_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tid = tid;
+    victim->vpn = vpn;
+    victim->lru = ++lruClock_;
+    return false;
+}
+
+} // namespace smt

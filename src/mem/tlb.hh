@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A fully-associative, LRU, software-filled TLB shared by all hardware
+ * contexts (entries are ASN-tagged with the thread id). A TLB miss
+ * requires two full memory accesses and no execution resources
+ * (Section 2.1): it adds a fixed latency to the access and consumes
+ * memory-port bandwidth, but never occupies a functional unit.
+ */
+
+#ifndef SMT_MEM_TLB_HH
+#define SMT_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace smt
+{
+
+/** Fully-associative, thread-tagged TLB. */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries, unsigned page_bytes, TlbStats &stats);
+
+    /**
+     * Translate; fills the entry on a miss.
+     * @return true on hit, false on miss (the caller adds the
+     *         miss penalty to its access time).
+     */
+    bool translate(ThreadID tid, Addr vaddr);
+
+    unsigned entries() const { return static_cast<unsigned>(tags_.size()); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        ThreadID tid = 0;
+        Addr vpn = 0;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned pageShift_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Entry> tags_;
+    TlbStats &stats_;
+};
+
+} // namespace smt
+
+#endif // SMT_MEM_TLB_HH

@@ -1,0 +1,53 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+
+namespace smt
+{
+
+ThreadSweep
+sweepThreads(const std::string &label, const std::vector<unsigned> &threads,
+             const std::function<SmtConfig(unsigned)> &make_config,
+             const MeasureOptions &opts)
+{
+    ThreadSweep sweep;
+    sweep.label = label;
+    sweep.threads = threads;
+    for (unsigned t : threads)
+        sweep.points.push_back(measure(make_config(t), opts));
+    return sweep;
+}
+
+const std::vector<unsigned> &
+paperThreadCounts()
+{
+    static const std::vector<unsigned> counts = {1, 2, 4, 6, 8};
+    return counts;
+}
+
+Table
+ipcTable(const std::string &title, const std::vector<ThreadSweep> &sweeps)
+{
+    Table table(title);
+    std::vector<std::string> header = {"scheme"};
+    if (!sweeps.empty()) {
+        for (unsigned t : sweeps.front().threads)
+            header.push_back(std::to_string(t) + "T");
+    }
+    table.setHeader(std::move(header));
+    for (const ThreadSweep &s : sweeps) {
+        std::vector<std::string> row = {s.label};
+        for (const DataPoint &p : s.points)
+            row.push_back(fmtDouble(p.ipc(), 2));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+void
+printPaperNote(const std::string &note)
+{
+    std::printf("paper: %s\n", note.c_str());
+}
+
+} // namespace smt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench harness: thread-count sweeps
+ * and tables that print measured values beside the paper's reference
+ * numbers so each figure/table reproduction is self-checking.
+ */
+
+#ifndef SMT_SIM_EXPERIMENT_HH
+#define SMT_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/mix_runner.hh"
+#include "stats/table.hh"
+
+namespace smt
+{
+
+/** A measured curve: IPC (and full stats) per thread count. */
+struct ThreadSweep
+{
+    std::string label;
+    std::vector<unsigned> threads;
+    std::vector<DataPoint> points;
+
+    double
+    ipcAt(unsigned t) const
+    {
+        for (std::size_t i = 0; i < threads.size(); ++i)
+            if (threads[i] == t)
+                return points[i].ipc();
+        return 0.0;
+    }
+
+    double
+    peakIpc() const
+    {
+        double best = 0.0;
+        for (const DataPoint &p : points)
+            best = std::max(best, p.ipc());
+        return best;
+    }
+};
+
+/**
+ * Measure one configuration across thread counts. `mutate` receives a
+ * config already set to the right thread count and applies the
+ * experiment's knobs.
+ */
+ThreadSweep sweepThreads(
+    const std::string &label, const std::vector<unsigned> &threads,
+    const std::function<SmtConfig(unsigned)> &make_config,
+    const MeasureOptions &opts);
+
+/** The thread counts the paper's figures use. */
+const std::vector<unsigned> &paperThreadCounts();
+
+/** Render several sweeps as an IPC-per-thread-count table. */
+Table ipcTable(const std::string &title,
+               const std::vector<ThreadSweep> &sweeps);
+
+/** Append a "paper reports" annotation row list to stdout. */
+void printPaperNote(const std::string &note);
+
+} // namespace smt
+
+#endif // SMT_SIM_EXPERIMENT_HH

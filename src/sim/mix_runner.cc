@@ -1,0 +1,65 @@
+#include "sim/mix_runner.hh"
+
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "workload/mix.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+SimStats
+oneRun(const SmtConfig &cfg, unsigned run, const MeasureOptions &opts)
+{
+    Simulator sim(cfg, mixForRun(cfg.numThreads, run),
+                  /*seed_salt=*/mix64(run + 1));
+    if (opts.warmupCycles > 0)
+        sim.warmup(opts.warmupCycles);
+    return sim.run(opts.cyclesPerRun);
+}
+
+} // namespace
+
+DataPoint
+measure(const SmtConfig &cfg, const MeasureOptions &opts)
+{
+    smt_assert(opts.runs >= 1);
+    DataPoint point;
+
+    if (!opts.parallel || opts.runs == 1) {
+        for (unsigned r = 0; r < opts.runs; ++r)
+            point.stats.add(oneRun(cfg, r, opts));
+        return point;
+    }
+
+    std::vector<std::future<SimStats>> futures;
+    futures.reserve(opts.runs);
+    for (unsigned r = 0; r < opts.runs; ++r) {
+        futures.push_back(std::async(std::launch::async, oneRun, cfg, r,
+                                     opts));
+    }
+    for (auto &f : futures)
+        point.stats.add(f.get());
+    return point;
+}
+
+MeasureOptions
+defaultMeasureOptions()
+{
+    MeasureOptions opts;
+    if (const char *env = std::getenv("SMTSIM_CYCLES"); env != nullptr)
+        opts.cyclesPerRun = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("SMTSIM_WARMUP"); env != nullptr)
+        opts.warmupCycles = std::strtoull(env, nullptr, 10);
+    if (std::getenv("SMTSIM_SERIAL") != nullptr)
+        opts.parallel = false;
+    return opts;
+}
+
+} // namespace smt

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MixRunner: the paper's measurement methodology (Section 3). One data
+ * point is the aggregate of 8 runs; run r assigns benchmark (r+t) mod 8
+ * to thread t, so every benchmark visits every thread slot. Runs are
+ * independent machines and execute in parallel worker threads.
+ */
+
+#ifndef SMT_SIM_MIX_RUNNER_HH
+#define SMT_SIM_MIX_RUNNER_HH
+
+#include <cstdint>
+
+#include "config/config.hh"
+#include "stats/stats.hh"
+
+namespace smt
+{
+
+/** One measured data point (the aggregate of the 8 rotation runs). */
+struct DataPoint
+{
+    SimStats stats;
+
+    double ipc() const { return stats.ipc(); }
+};
+
+/** Knobs for a data-point measurement. */
+struct MeasureOptions
+{
+    std::uint64_t cyclesPerRun = 40000; ///< post-warmup measured cycles.
+    std::uint64_t warmupCycles = 30000; ///< cold-start ramp, discarded.
+    unsigned runs = 8;                  ///< rotation length.
+    bool parallel = true;               ///< use worker threads.
+};
+
+/** Measure one configuration (cfg.numThreads defines the mix width). */
+DataPoint measure(const SmtConfig &cfg, const MeasureOptions &opts);
+
+/** Options honouring the SMTSIM_CYCLES / SMTSIM_WARMUP / SMTSIM_SERIAL
+ *  environment overrides used by the bench harness. */
+MeasureOptions defaultMeasureOptions();
+
+} // namespace smt
+
+#endif // SMT_SIM_MIX_RUNNER_HH

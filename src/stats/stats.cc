@@ -1,0 +1,87 @@
+#include "stats/stats.hh"
+
+#include <sstream>
+
+namespace smt
+{
+
+void
+SimStats::add(const SimStats &o)
+{
+    cycles += o.cycles;
+    committedInstructions += o.committedInstructions;
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        committedPerThread[t] += o.committedPerThread[t];
+
+    fetchedInstructions += o.fetchedInstructions;
+    fetchedWrongPath += o.fetchedWrongPath;
+    fetchCyclesIdle += o.fetchCyclesIdle;
+    fetchBlockedIQFull += o.fetchBlockedIQFull;
+
+    issuedInstructions += o.issuedInstructions;
+    issuedWrongPath += o.issuedWrongPath;
+    optimisticSquashes += o.optimisticSquashes;
+
+    intIQFullCycles += o.intIQFullCycles;
+    fpIQFullCycles += o.fpIQFullCycles;
+    for (std::size_t b = 0; b < o.combinedQueuePopulation.buckets(); ++b) {
+        const auto count = o.combinedQueuePopulation.bucket(b);
+        if (count)
+            combinedQueuePopulation.sample(b, count);
+    }
+
+    outOfRegistersCycles += o.outOfRegistersCycles;
+
+    condBranches += o.condBranches;
+    condBranchMispredicts += o.condBranchMispredicts;
+    jumps += o.jumps;
+    jumpMispredicts += o.jumpMispredicts;
+    misfetches += o.misfetches;
+
+    icache.add(o.icache);
+    dcache.add(o.dcache);
+    l2.add(o.l2);
+    l3.add(o.l3);
+    itlb.add(o.itlb);
+    dtlb.add(o.dtlb);
+}
+
+std::string
+SimStats::report() const
+{
+    std::ostringstream os;
+    auto pct = [](double v) { return 100.0 * v; };
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "cycles                     " << cycles << '\n'
+       << "committed instructions     " << committedInstructions << '\n'
+       << "IPC                        " << ipc() << '\n'
+       << "fetched (incl. wrong path) " << fetchedInstructions << '\n'
+       << "wrong-path fetched         " << pct(wrongPathFetchedFraction())
+       << "%\n"
+       << "wrong-path issued          " << pct(wrongPathIssuedFraction())
+       << "%\n"
+       << "optimistic squashed        " << pct(optimisticSquashFraction())
+       << "%\n"
+       << "int IQ-full cycles         " << pct(intIQFullFraction()) << "%\n"
+       << "fp  IQ-full cycles         " << pct(fpIQFullFraction()) << "%\n"
+       << "out-of-registers cycles    " << pct(outOfRegistersFraction())
+       << "%\n"
+       << "avg queue population       " << avgQueuePopulation() << '\n'
+       << "branch mispredict rate     " << pct(branchMispredictRate())
+       << "%\n"
+       << "jump mispredict rate       " << pct(jumpMispredictRate()) << "%\n"
+       << "I-cache miss rate          " << pct(icache.missRate()) << "%  ("
+       << icache.mpki(committedInstructions) << " MPKI)\n"
+       << "D-cache miss rate          " << pct(dcache.missRate()) << "%  ("
+       << dcache.mpki(committedInstructions) << " MPKI)\n"
+       << "L2 miss rate               " << pct(l2.missRate()) << "%  ("
+       << l2.mpki(committedInstructions) << " MPKI)\n"
+       << "L3 miss rate               " << pct(l3.missRate()) << "%  ("
+       << l3.mpki(committedInstructions) << " MPKI)\n"
+       << "ITLB miss rate             " << pct(itlb.missRate()) << "%\n"
+       << "DTLB miss rate             " << pct(dtlb.missRate()) << "%\n";
+    return os.str();
+}
+
+} // namespace smt

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Statistics collection for smtsim.
+ *
+ * SimStats is a plain aggregate of every counter the paper reports
+ * (Tables 3, 4, 5 and the prose of Sections 4-7), with derived-metric
+ * accessors (rates, ratios, MPKI). Counters are added by the pipeline and
+ * memory models during simulation; benches and tests read the derived
+ * metrics.
+ */
+
+#ifndef SMT_STATS_STATS_HH
+#define SMT_STATS_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace smt
+{
+
+/** Counters for one cache level. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bankConflicts = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t mshrMerges = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+
+    /** Misses per thousand *useful committed* instructions. */
+    double
+    mpki(std::uint64_t committed) const
+    {
+        return committed ? 1000.0 * misses / committed : 0.0;
+    }
+
+    void
+    add(const CacheStats &o)
+    {
+        accesses += o.accesses;
+        misses += o.misses;
+        bankConflicts += o.bankConflicts;
+        writebacks += o.writebacks;
+        mshrMerges += o.mshrMerges;
+    }
+};
+
+/** Counters for one TLB. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+
+    void
+    add(const TlbStats &o)
+    {
+        accesses += o.accesses;
+        misses += o.misses;
+    }
+};
+
+/** Every simulation-level counter the paper's evaluation reports. */
+struct SimStats
+{
+    // ---- Progress -------------------------------------------------------
+    std::uint64_t cycles = 0;
+    std::uint64_t committedInstructions = 0; ///< useful instructions only.
+    std::array<std::uint64_t, kMaxThreads> committedPerThread{};
+
+    // ---- Fetch ----------------------------------------------------------
+    std::uint64_t fetchedInstructions = 0;   ///< includes wrong path.
+    std::uint64_t fetchedWrongPath = 0;
+    std::uint64_t fetchCyclesIdle = 0;       ///< no thread could fetch.
+    std::uint64_t fetchBlockedIQFull = 0;    ///< fetch lost to IQ-full.
+
+    // ---- Issue ----------------------------------------------------------
+    std::uint64_t issuedInstructions = 0;    ///< includes useless issue.
+    std::uint64_t issuedWrongPath = 0;
+    std::uint64_t optimisticSquashes = 0;    ///< issued then squashed on a
+                                             ///< D-cache miss/bank conflict.
+
+    // ---- Queues ---------------------------------------------------------
+    std::uint64_t intIQFullCycles = 0;
+    std::uint64_t fpIQFullCycles = 0;
+    Histogram combinedQueuePopulation{129};
+
+    // ---- Renaming -------------------------------------------------------
+    std::uint64_t outOfRegistersCycles = 0;
+
+    // ---- Branches -------------------------------------------------------
+    std::uint64_t condBranches = 0;          ///< committed.
+    std::uint64_t condBranchMispredicts = 0;
+    std::uint64_t jumps = 0;                 ///< committed indirect
+                                             ///< jumps/returns.
+    std::uint64_t jumpMispredicts = 0;
+    std::uint64_t misfetches = 0;            ///< BTB-miss target delays.
+
+    // ---- Memory ---------------------------------------------------------
+    CacheStats icache;
+    CacheStats dcache;
+    CacheStats l2;
+    CacheStats l3;
+    TlbStats itlb;
+    TlbStats dtlb;
+
+    // ---- Derived metrics --------------------------------------------------
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedInstructions) / cycles
+                      : 0.0;
+    }
+
+    double
+    wrongPathFetchedFraction() const
+    {
+        return fetchedInstructions
+                   ? static_cast<double>(fetchedWrongPath)
+                         / fetchedInstructions
+                   : 0.0;
+    }
+
+    double
+    wrongPathIssuedFraction() const
+    {
+        return issuedInstructions
+                   ? static_cast<double>(issuedWrongPath) / issuedInstructions
+                   : 0.0;
+    }
+
+    double
+    optimisticSquashFraction() const
+    {
+        return issuedInstructions
+                   ? static_cast<double>(optimisticSquashes)
+                         / issuedInstructions
+                   : 0.0;
+    }
+
+    double
+    uselessIssueFraction() const
+    {
+        return wrongPathIssuedFraction() + optimisticSquashFraction();
+    }
+
+    double
+    intIQFullFraction() const
+    {
+        return cycles ? static_cast<double>(intIQFullCycles) / cycles : 0.0;
+    }
+
+    double
+    fpIQFullFraction() const
+    {
+        return cycles ? static_cast<double>(fpIQFullCycles) / cycles : 0.0;
+    }
+
+    double
+    outOfRegistersFraction() const
+    {
+        return cycles ? static_cast<double>(outOfRegistersCycles) / cycles
+                      : 0.0;
+    }
+
+    double
+    branchMispredictRate() const
+    {
+        return condBranches
+                   ? static_cast<double>(condBranchMispredicts) / condBranches
+                   : 0.0;
+    }
+
+    double
+    jumpMispredictRate() const
+    {
+        return jumps ? static_cast<double>(jumpMispredicts) / jumps : 0.0;
+    }
+
+    double
+    avgQueuePopulation() const
+    {
+        return combinedQueuePopulation.mean();
+    }
+
+    /** Accumulate another run's counters into this one. */
+    void add(const SimStats &o);
+
+    /** Multi-line human-readable dump (for examples and debugging). */
+    std::string report() const;
+};
+
+} // namespace smt
+
+#endif // SMT_STATS_STATS_HH

@@ -1,0 +1,20 @@
+#include "workload/mix.hh"
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+std::vector<Benchmark>
+mixForRun(unsigned num_threads, unsigned run)
+{
+    smt_assert(num_threads >= 1);
+    const auto &all = allBenchmarks();
+    std::vector<Benchmark> mix;
+    mix.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t)
+        mix.push_back(all[(run + t) % all.size()]);
+    return mix;
+}
+
+} // namespace smt

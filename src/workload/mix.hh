@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The paper's measurement methodology (Section 3): a data point is the
+ * average of 8 runs; in run r, thread t executes benchmark (r + t) mod 8,
+ * so every benchmark appears in every thread slot exactly once across
+ * the 8 runs and thread-count comparisons are benchmark-balanced.
+ */
+
+#ifndef SMT_WORKLOAD_MIX_HH
+#define SMT_WORKLOAD_MIX_HH
+
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace smt
+{
+
+/** Number of runs composing one data point. */
+constexpr unsigned kRunsPerDataPoint = 8;
+
+/** The benchmark assigned to each thread slot for a given run. */
+std::vector<Benchmark> mixForRun(unsigned num_threads, unsigned run);
+
+} // namespace smt
+
+#endif // SMT_WORKLOAD_MIX_HH

@@ -1,0 +1,296 @@
+#include "workload/profile.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+std::uint64_t
+BenchmarkProfile::dataFootprint() const
+{
+    // Streams are allocated per static memory instruction; a generous
+    // upper bound is used by tests only (the generator computes the real
+    // layout).
+    return heapBytes + 64 * streamRegionBytes;
+}
+
+namespace
+{
+
+/**
+ * The profiles below encode published qualitative characterisations of
+ * each SPEC92 benchmark (and TeX):
+ *  - alvinn: FP neural-net training; long, very predictable loops over
+ *    modest arrays.
+ *  - doduc: FP Monte-Carlo; branchier than the other FP codes, moderate
+ *    working set.
+ *  - espresso: integer logic minimisation; small blocks, data-dependent
+ *    branches, small hot working set.
+ *  - fpppp: FP quantum chemistry; famously huge basic blocks, very high
+ *    FP density, large ILP.
+ *  - ora: FP ray tracing; predictable, compute-dominated.
+ *  - tomcatv: FP vectorisable mesh generation; long strided streams over
+ *    large arrays (memory bound).
+ *  - xlisp: LISP interpreter; extremely branchy, call/return and
+ *    pointer-chasing dominated, hard branches.
+ *  - tex: typesetting; integer, moderately branchy, medium footprint.
+ */
+std::array<BenchmarkProfile, kNumBenchmarks>
+makeProfiles()
+{
+    std::array<BenchmarkProfile, kNumBenchmarks> p;
+
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Alvinn)];
+        b.name = "alvinn";
+        b.numFuncs = 6;
+        b.blocksPerFunc = 18;
+        b.avgBlockLen = 9.0;
+        b.maxLoopDepth = 3;
+        b.loopFraction = 0.38;
+        b.diamondFraction = 0.18;
+        b.callFraction = 0.05;
+        b.minTrip = 8;
+        b.maxTrip = 48;
+        b.hardBranchFraction = 0.06;
+        b.loadFrac = 0.30;
+        b.storeFrac = 0.10;
+        b.fpFrac = 0.34;
+        b.fpLoadFrac = 0.70;
+        b.depMean = 2.2;
+        b.streamRegionBytes = 2048;
+        b.numStreams = 3;
+        b.heapBytes = 256 * 1024;
+        b.randomFrac = 0.08;
+        b.stackFrac = 0.24;
+        b.strideBytes = 8;
+    }
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Doduc)];
+        b.name = "doduc";
+        b.numFuncs = 10;
+        b.blocksPerFunc = 26;
+        b.avgBlockLen = 7.0;
+        b.maxLoopDepth = 2;
+        b.loopFraction = 0.24;
+        b.diamondFraction = 0.34;
+        b.callFraction = 0.09;
+        b.minTrip = 4;
+        b.maxTrip = 32;
+        b.hardBranchFraction = 0.12;
+        b.loadFrac = 0.27;
+        b.storeFrac = 0.11;
+        b.fpFrac = 0.30;
+        b.fpLoadFrac = 0.60;
+        b.depMean = 2.0;
+        b.streamRegionBytes = 2048;
+        b.numStreams = 3;
+        b.heapBytes = 192 * 1024;
+        b.randomFrac = 0.15;
+        b.stackFrac = 0.18;
+        b.strideBytes = 8;
+    }
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Espresso)];
+        b.name = "espresso";
+        b.numFuncs = 13;
+        b.blocksPerFunc = 30;
+        b.avgBlockLen = 4.4;
+        b.maxLoopDepth = 2;
+        b.loopFraction = 0.22;
+        b.diamondFraction = 0.44;
+        b.callFraction = 0.08;
+        b.indirectFraction = 0.02;
+        b.indirectTargets = 6;
+        b.minTrip = 3;
+        b.maxTrip = 24;
+        b.hardBranchFraction = 0.13;
+        b.loadFrac = 0.25;
+        b.storeFrac = 0.08;
+        b.fpFrac = 0.0;
+        b.depMean = 1.8;
+        b.streamRegionBytes = 2048;
+        b.numStreams = 3;
+        b.heapBytes = 192 * 1024;
+        b.randomFrac = 0.20;
+        b.stackFrac = 0.28;
+        b.strideBytes = 8;
+    }
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Fpppp)];
+        b.name = "fpppp";
+        b.numFuncs = 4;
+        b.blocksPerFunc = 12;
+        b.avgBlockLen = 34.0;
+        b.maxLoopDepth = 2;
+        b.loopFraction = 0.40;
+        b.diamondFraction = 0.10;
+        b.callFraction = 0.06;
+        b.minTrip = 8;
+        b.maxTrip = 48;
+        b.hardBranchFraction = 0.05;
+        b.loadFrac = 0.28;
+        b.storeFrac = 0.14;
+        b.fpFrac = 0.42;
+        b.fpLoadFrac = 0.85;
+        b.depMean = 2.8;
+        b.streamRegionBytes = 3072;
+        b.numStreams = 3;
+        b.heapBytes = 320 * 1024;
+        b.randomFrac = 0.10;
+        b.stackFrac = 0.16;
+        b.strideBytes = 16;
+    }
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Ora)];
+        b.name = "ora";
+        b.numFuncs = 7;
+        b.blocksPerFunc = 18;
+        b.avgBlockLen = 8.0;
+        b.maxLoopDepth = 2;
+        b.loopFraction = 0.30;
+        b.diamondFraction = 0.26;
+        b.callFraction = 0.10;
+        b.minTrip = 8;
+        b.maxTrip = 64;
+        b.hardBranchFraction = 0.06;
+        b.loadFrac = 0.20;
+        b.storeFrac = 0.08;
+        b.fpFrac = 0.38;
+        b.fpLoadFrac = 0.65;
+        b.depMean = 2.2;
+        b.streamRegionBytes = 2048;
+        b.numStreams = 3;
+        b.heapBytes = 128 * 1024;
+        b.randomFrac = 0.10;
+        b.stackFrac = 0.30;
+        b.strideBytes = 8;
+    }
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Tomcatv)];
+        b.name = "tomcatv";
+        b.numFuncs = 4;
+        b.blocksPerFunc = 16;
+        b.avgBlockLen = 12.0;
+        b.maxLoopDepth = 3;
+        b.loopFraction = 0.44;
+        b.diamondFraction = 0.10;
+        b.callFraction = 0.04;
+        b.minTrip = 32;
+        b.maxTrip = 128;
+        b.hardBranchFraction = 0.03;
+        b.loadFrac = 0.33;
+        b.storeFrac = 0.14;
+        b.fpFrac = 0.36;
+        b.fpLoadFrac = 0.80;
+        b.depMean = 2.4;
+        b.streamRegionBytes = 16 * 1024;
+        b.numStreams = 4;
+        b.heapBytes = 512 * 1024;
+        b.randomFrac = 0.05;
+        b.stackFrac = 0.08;
+        b.strideBytes = 8;
+    }
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Xlisp)];
+        b.name = "xlisp";
+        b.numFuncs = 16;
+        b.blocksPerFunc = 20;
+        b.avgBlockLen = 4.0;
+        b.maxLoopDepth = 1;
+        b.loopFraction = 0.10;
+        b.diamondFraction = 0.46;
+        b.callFraction = 0.18;
+        b.indirectFraction = 0.04;
+        b.indirectTargets = 10;
+        b.minTrip = 2;
+        b.maxTrip = 12;
+        b.hardBranchFraction = 0.16;
+        b.loadFrac = 0.30;
+        b.storeFrac = 0.12;
+        b.fpFrac = 0.0;
+        b.depMean = 1.7;
+        b.streamRegionBytes = 2048;
+        b.numStreams = 3;
+        b.heapBytes = 256 * 1024;
+        b.randomFrac = 0.35;
+        b.stackFrac = 0.25;
+        b.strideBytes = 8;
+    }
+    {
+        BenchmarkProfile &b = p[static_cast<unsigned>(Benchmark::Tex)];
+        b.name = "tex";
+        b.numFuncs = 12;
+        b.blocksPerFunc = 26;
+        b.avgBlockLen = 5.2;
+        b.maxLoopDepth = 2;
+        b.loopFraction = 0.20;
+        b.diamondFraction = 0.40;
+        b.callFraction = 0.10;
+        b.indirectFraction = 0.01;
+        b.indirectTargets = 8;
+        b.minTrip = 4;
+        b.maxTrip = 28;
+        b.hardBranchFraction = 0.10;
+        b.loadFrac = 0.26;
+        b.storeFrac = 0.11;
+        b.fpFrac = 0.0;
+        b.depMean = 1.9;
+        b.streamRegionBytes = 2048;
+        b.numStreams = 3;
+        b.heapBytes = 256 * 1024;
+        b.randomFrac = 0.18;
+        b.stackFrac = 0.26;
+        b.strideBytes = 8;
+    }
+
+    return p;
+}
+
+const std::array<BenchmarkProfile, kNumBenchmarks> &
+profiles()
+{
+    static const auto table = makeProfiles();
+    return table;
+}
+
+} // namespace
+
+const BenchmarkProfile &
+benchmarkProfile(Benchmark b)
+{
+    const auto idx = static_cast<unsigned>(b);
+    smt_assert(idx < kNumBenchmarks);
+    return profiles()[idx];
+}
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> all = {
+        Benchmark::Alvinn, Benchmark::Doduc, Benchmark::Espresso,
+        Benchmark::Fpppp, Benchmark::Ora, Benchmark::Tomcatv,
+        Benchmark::Xlisp, Benchmark::Tex,
+    };
+    return all;
+}
+
+Benchmark
+benchmarkByName(const std::string &name)
+{
+    for (Benchmark b : allBenchmarks()) {
+        if (benchmarkProfile(b).name == name)
+            return b;
+    }
+    smt_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+const char *
+benchmarkName(Benchmark b)
+{
+    return benchmarkProfile(b).name.c_str();
+}
+
+} // namespace smt

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG, saturating counter,
+ * histogram, and the mixing hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+
+namespace smt
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next64();
+    a.next64();
+    a.reseed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(4);
+    bool hit_lo = false;
+    bool hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        hit_lo |= v == 5;
+        hit_hi |= v == 8;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(6);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatelyRight)
+{
+    Rng r(8);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const unsigned v = r.geometric(4.0);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 64u);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.3);
+}
+
+TEST(Rng, GeometricMeanOneIsAlwaysOne)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 1u);
+}
+
+TEST(Mix64, InjectiveishAndStable)
+{
+    EXPECT_EQ(mix64(12345), mix64(12345));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SatCounter, SaturatesAtBothEnds)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.value(), 0);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    c.increment();
+    EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SatCounter, IsSetThreshold)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.isSet()); // 0
+    c.increment();
+    EXPECT_FALSE(c.isSet()); // 1 (weakly not taken)
+    c.increment();
+    EXPECT_TRUE(c.isSet()); // 2 (weakly taken)
+    c.increment();
+    EXPECT_TRUE(c.isSet()); // 3
+}
+
+TEST(SatCounter, OneBitCounter)
+{
+    SatCounter c(1, 0);
+    EXPECT_FALSE(c.isSet());
+    c.increment();
+    EXPECT_TRUE(c.isSet());
+    EXPECT_EQ(c.max(), 1);
+}
+
+TEST(Histogram, MeanAndBuckets)
+{
+    Histogram h(8);
+    h.sample(1);
+    h.sample(3);
+    h.sample(3);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0 / 3.0);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(Histogram, OverflowLandsInLastBucket)
+{
+    Histogram h(4);
+    h.sample(100);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.samples(), 1u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(4);
+    h.sample(2, 5);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(4);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+} // namespace
+} // namespace smt

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Integration tests: whole-machine runs across the paper's main
+ * configuration axes, checking the qualitative relationships the paper
+ * reports (which scheme wins, which direction each knob moves
+ * throughput) and cross-cutting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/mix_runner.hh"
+#include "sim/simulator.hh"
+#include "workload/mix.hh"
+
+namespace smt
+{
+namespace
+{
+
+MeasureOptions
+fastOptions()
+{
+    MeasureOptions opts;
+    // Long enough past the cold-start ramp that steady-state relations
+    // hold; still a fraction of the bench harness defaults.
+    opts.cyclesPerRun = 15000;
+    opts.warmupCycles = 15000;
+    opts.runs = 4;
+    return opts;
+}
+
+TEST(Integration, MeasureAggregatesRuns)
+{
+    MeasureOptions opts = fastOptions();
+    const DataPoint p = measure(presets::baseSmt(2), opts);
+    EXPECT_EQ(p.stats.cycles, opts.runs * opts.cyclesPerRun);
+    EXPECT_GT(p.ipc(), 0.5);
+}
+
+TEST(Integration, ParallelAndSerialMeasureAgree)
+{
+    MeasureOptions serial = fastOptions();
+    serial.parallel = false;
+    MeasureOptions parallel = fastOptions();
+    parallel.parallel = true;
+    const DataPoint a = measure(presets::baseSmt(2), serial);
+    const DataPoint b = measure(presets::baseSmt(2), parallel);
+    EXPECT_EQ(a.stats.committedInstructions,
+              b.stats.committedInstructions);
+    EXPECT_EQ(a.stats.issuedInstructions, b.stats.issuedInstructions);
+}
+
+TEST(Integration, ThroughputGrowsWithThreads)
+{
+    MeasureOptions opts = fastOptions();
+    const double ipc1 = measure(presets::baseSmt(1), opts).ipc();
+    const double ipc4 = measure(presets::baseSmt(4), opts).ipc();
+    const double ipc8 = measure(presets::baseSmt(8), opts).ipc();
+    EXPECT_GT(ipc4, ipc1 * 1.25);
+    // Fig. 3: throughput peaks before 8 threads; the 8-thread point may
+    // dip below the 4-thread one but must not collapse.
+    EXPECT_GE(ipc8, ipc4 * 0.6);
+    EXPECT_GT(ipc8, ipc1);
+}
+
+TEST(Integration, IcountCompetitiveWithRoundRobinAtEightThreads)
+{
+    // The paper reports ICOUNT clearly ahead of RR; on the synthetic
+    // workload the bottleneck mix differs (see EXPERIMENTS.md), so we
+    // assert ICOUNT is at least competitive and relieves queue pressure.
+    MeasureOptions opts = fastOptions();
+    SmtConfig rr = presets::baseSmt(8);
+    presets::setFetchPartition(rr, 2, 8);
+    SmtConfig icount = presets::icount28(8);
+    const DataPoint p_rr = measure(rr, opts);
+    const DataPoint p_ic = measure(icount, opts);
+    EXPECT_GT(p_ic.ipc(), p_rr.ipc() * 0.9);
+}
+
+TEST(Integration, CachePressureGrowsWithThreads)
+{
+    MeasureOptions opts = fastOptions();
+    const DataPoint p1 = measure(presets::baseSmt(1), opts);
+    const DataPoint p8 = measure(presets::baseSmt(8), opts);
+    EXPECT_GT(p8.stats.icache.missRate(), p1.stats.icache.missRate());
+    EXPECT_GT(p8.stats.dcache.missRate(), p1.stats.dcache.missRate());
+}
+
+TEST(Integration, BranchPredictionDegradesWithThreads)
+{
+    MeasureOptions opts = fastOptions();
+    const DataPoint p1 = measure(presets::baseSmt(1), opts);
+    const DataPoint p8 = measure(presets::baseSmt(8), opts);
+    EXPECT_GT(p8.stats.branchMispredictRate(),
+              p1.stats.branchMispredictRate() * 0.9);
+}
+
+TEST(Integration, SmtReducesRelativeWrongPathFetch)
+{
+    // Paper: wrong-path fetches fall from ~16-24% at 1 thread to ~7-9%
+    // at 8 threads (fewer wasted slots because other threads fill them).
+    MeasureOptions opts = fastOptions();
+    const DataPoint p1 = measure(presets::baseSmt(1), opts);
+    const DataPoint p8 = measure(presets::baseSmt(8), opts);
+    EXPECT_LT(p8.stats.wrongPathFetchedFraction(),
+              p1.stats.wrongPathFetchedFraction());
+}
+
+TEST(Integration, InfiniteFunctionalUnitsChangeLittle)
+{
+    MeasureOptions opts = fastOptions();
+    SmtConfig base = presets::icount28(8);
+    SmtConfig inf = base;
+    inf.infiniteFunctionalUnits = true;
+    const double base_ipc = measure(base, opts).ipc();
+    const double inf_ipc = measure(inf, opts).ipc();
+    EXPECT_GE(inf_ipc, base_ipc * 0.97);
+    EXPECT_LT(inf_ipc, base_ipc * 1.30); // paper: ~+0.5%.
+}
+
+TEST(Integration, InfiniteCacheBandwidthChangesLittle)
+{
+    MeasureOptions opts = fastOptions();
+    SmtConfig base = presets::icount28(8);
+    SmtConfig inf = base;
+    inf.infiniteCacheBandwidth = true;
+    const double base_ipc = measure(base, opts).ipc();
+    const double inf_ipc = measure(inf, opts).ipc();
+    EXPECT_GE(inf_ipc, base_ipc * 0.97);
+    EXPECT_LT(inf_ipc, base_ipc * 1.30); // paper: ~+3%.
+}
+
+TEST(Integration, SpeculationRestrictionsCostSingleThreadMore)
+{
+    MeasureOptions opts = fastOptions();
+    SmtConfig full1 = presets::icount28(1);
+    SmtConfig slow1 = full1;
+    slow1.speculation = SpeculationMode::NoWrongPathIssue;
+    const double cost1 =
+        measure(full1, opts).ipc() / measure(slow1, opts).ipc();
+
+    SmtConfig full8 = presets::icount28(8);
+    SmtConfig slow8 = full8;
+    slow8.speculation = SpeculationMode::NoWrongPathIssue;
+    const double cost8 =
+        measure(full8, opts).ipc() / measure(slow8, opts).ipc();
+
+    // Paper: -38% at 1 thread vs -7% at 8 threads.
+    EXPECT_GT(cost1, cost8);
+    EXPECT_GT(cost1, 1.05);
+}
+
+TEST(Integration, NoPassBranchIsMilderThanNoWrongPathIssue)
+{
+    MeasureOptions opts = fastOptions();
+    SmtConfig full = presets::icount28(8);
+    SmtConfig no_pass = full;
+    no_pass.speculation = SpeculationMode::NoPassBranch;
+    SmtConfig no_wrong = full;
+    no_wrong.speculation = SpeculationMode::NoWrongPathIssue;
+    const double ipc_full = measure(full, opts).ipc();
+    const double ipc_no_pass = measure(no_pass, opts).ipc();
+    const double ipc_no_wrong = measure(no_wrong, opts).ipc();
+    EXPECT_GE(ipc_full * 1.02, ipc_no_pass);
+    EXPECT_GE(ipc_no_pass, ipc_no_wrong * 0.98);
+}
+
+TEST(Integration, IssuePoliciesAreCloseToOldestFirst)
+{
+    // Table 5: all four issue policies land within a whisker.
+    MeasureOptions opts = fastOptions();
+    SmtConfig base = presets::icount28(4);
+    const double oldest = measure(base, opts).ipc();
+    for (IssuePolicy p : {IssuePolicy::OptLast, IssuePolicy::SpecLast,
+                          IssuePolicy::BranchFirst}) {
+        SmtConfig cfg = base;
+        cfg.issuePolicy = p;
+        const double ipc = measure(cfg, opts).ipc();
+        EXPECT_GT(ipc, oldest * 0.9) << toString(p);
+        EXPECT_LT(ipc, oldest * 1.1) << toString(p);
+    }
+}
+
+TEST(Integration, SweepHelperProducesOrderedResults)
+{
+    MeasureOptions opts = fastOptions();
+    const ThreadSweep sweep = sweepThreads(
+        "base", {1, 4},
+        [](unsigned t) { return presets::baseSmt(t); }, opts);
+    EXPECT_EQ(sweep.threads.size(), 2u);
+    EXPECT_DOUBLE_EQ(sweep.ipcAt(1), sweep.points[0].ipc());
+    EXPECT_GT(sweep.peakIpc(), 0.0);
+}
+
+TEST(Integration, BigqBuffersWithoutSearchGrowth)
+{
+    MeasureOptions opts = fastOptions();
+    SmtConfig bigq = presets::icount28(8);
+    bigq.intQueueEntries = 64;
+    bigq.fpQueueEntries = 64;
+    bigq.iqSearchWindow = 32;
+    const double base_ipc = measure(presets::icount28(8), opts).ipc();
+    const double bigq_ipc = measure(bigq, opts).ipc();
+    // Paper: BIGQ adds nothing (or slightly hurts) on top of ICOUNT.
+    EXPECT_GT(bigq_ipc, base_ipc * 0.85);
+    EXPECT_LT(bigq_ipc, base_ipc * 1.15);
+}
+
+TEST(Integration, ItagRunsAndStaysInBand)
+{
+    MeasureOptions opts = fastOptions();
+    SmtConfig itag = presets::icount28(8);
+    itag.itagEarlyLookup = true;
+    const double base_ipc = measure(presets::icount28(8), opts).ipc();
+    const double itag_ipc = measure(itag, opts).ipc();
+    EXPECT_GT(itag_ipc, base_ipc * 0.85);
+    EXPECT_LT(itag_ipc, base_ipc * 1.2);
+}
+
+TEST(Integration, FewerExcessRegistersNeverHelp)
+{
+    MeasureOptions opts = fastOptions();
+    SmtConfig r100 = presets::icount28(8);
+    SmtConfig r40 = r100;
+    r40.excessRegisters = 40;
+    EXPECT_GE(measure(r100, opts).ipc() * 1.03,
+              measure(r40, opts).ipc());
+}
+
+} // namespace
+} // namespace smt

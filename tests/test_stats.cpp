@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the statistics package: derived metrics, aggregation, and
+ * table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace smt
+{
+namespace
+{
+
+TEST(SimStats, IpcComputation)
+{
+    SimStats s;
+    s.cycles = 1000;
+    s.committedInstructions = 2500;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.5);
+}
+
+TEST(SimStats, ZeroCyclesSafe)
+{
+    SimStats s;
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(s.branchMispredictRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.wrongPathFetchedFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(s.avgQueuePopulation(), 0.0);
+}
+
+TEST(SimStats, UselessIssueFraction)
+{
+    SimStats s;
+    s.issuedInstructions = 100;
+    s.issuedWrongPath = 4;
+    s.optimisticSquashes = 3;
+    EXPECT_DOUBLE_EQ(s.uselessIssueFraction(), 0.07);
+}
+
+TEST(SimStats, CacheRates)
+{
+    CacheStats c;
+    c.accesses = 200;
+    c.misses = 50;
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.25);
+    EXPECT_DOUBLE_EQ(c.mpki(1000), 50.0);
+}
+
+TEST(SimStats, AddAggregates)
+{
+    SimStats a;
+    a.cycles = 10;
+    a.committedInstructions = 20;
+    a.icache.accesses = 5;
+    a.icache.misses = 1;
+    a.condBranches = 4;
+    a.combinedQueuePopulation.sample(10);
+
+    SimStats b;
+    b.cycles = 30;
+    b.committedInstructions = 60;
+    b.icache.accesses = 15;
+    b.icache.misses = 3;
+    b.condBranches = 8;
+    b.combinedQueuePopulation.sample(20);
+
+    a.add(b);
+    EXPECT_EQ(a.cycles, 40u);
+    EXPECT_EQ(a.committedInstructions, 80u);
+    EXPECT_EQ(a.icache.accesses, 20u);
+    EXPECT_EQ(a.icache.misses, 4u);
+    EXPECT_EQ(a.condBranches, 12u);
+    EXPECT_DOUBLE_EQ(a.avgQueuePopulation(), 15.0);
+    EXPECT_DOUBLE_EQ(a.ipc(), 2.0);
+}
+
+TEST(SimStats, ReportContainsKeyLines)
+{
+    SimStats s;
+    s.cycles = 100;
+    s.committedInstructions = 200;
+    const std::string report = s.report();
+    EXPECT_NE(report.find("IPC"), std::string::npos);
+    EXPECT_NE(report.find("2.00"), std::string::npos);
+    EXPECT_NE(report.find("I-cache miss rate"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addSeparator();
+    t.addRow({"3", "4"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("# demo\n"), std::string::npos);
+    EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+    EXPECT_NE(csv.find("1,2\n"), std::string::npos);
+    EXPECT_NE(csv.find("3,4\n"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(2.456, 2), "2.46");
+    EXPECT_EQ(fmtDouble(2.0, 1), "2.0");
+    EXPECT_EQ(fmtPercent(0.123, 1), "12.3%");
+    EXPECT_EQ(fmtPercent(0.5, 0), "50%");
+}
+
+} // namespace
+} // namespace smt
