@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "policy/registry.hh"
 #include "sim/experiment.hh"
 
 int
@@ -19,22 +20,22 @@ main()
     const smt::MeasureOptions opts = smt::defaultMeasureOptions();
     const std::vector<unsigned> counts = {2, 4, 6, 8};
 
-    const smt::FetchPolicy policies[] = {
-        smt::FetchPolicy::RoundRobin, smt::FetchPolicy::BrCount,
-        smt::FetchPolicy::MissCount, smt::FetchPolicy::ICount,
-        smt::FetchPolicy::IQPosn,
+    // The paper's five policies, resolved by registry name (RR first:
+    // the sweeps below report gains relative to sweeps[0]).
+    const std::vector<std::string> policies = {
+        "RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN",
     };
 
     for (unsigned width_threads : {1u, 2u}) {
         std::vector<smt::ThreadSweep> sweeps;
-        for (smt::FetchPolicy p : policies) {
-            const std::string label = std::string(smt::toString(p)) + "." +
-                                      std::to_string(width_threads) + ".8";
+        for (const std::string &p : policies) {
+            const std::string label =
+                p + "." + std::to_string(width_threads) + ".8";
             sweeps.push_back(smt::sweepThreads(
                 label, counts,
                 [&](unsigned t) {
                     smt::SmtConfig cfg = smt::presets::baseSmt(t);
-                    cfg.fetchPolicy = p;
+                    cfg.fetchPolicyName = p;
                     smt::presets::setFetchPartition(cfg, width_threads, 8);
                     return cfg;
                 },

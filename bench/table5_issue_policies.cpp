@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "policy/registry.hh"
 #include "sim/experiment.hh"
 
 int
@@ -20,23 +21,21 @@ main()
     const smt::MeasureOptions opts = smt::defaultMeasureOptions();
     const std::vector<unsigned> counts = {1, 2, 4, 6, 8};
 
-    const smt::IssuePolicy policies[] = {
-        smt::IssuePolicy::OldestFirst,
-        smt::IssuePolicy::OptLast,
-        smt::IssuePolicy::SpecLast,
-        smt::IssuePolicy::BranchFirst,
+    // The paper's four policies, resolved by registry name.
+    const std::vector<std::string> policies = {
+        "OLDEST_FIRST", "OPT_LAST", "SPEC_LAST", "BRANCH_FIRST",
     };
 
     smt::Table table("Table 5: issue priority schemes (ICOUNT.2.8)");
     table.setHeader({"policy", "1T", "2T", "4T", "6T", "8T",
                      "wrong-path", "optimistic"});
 
-    for (smt::IssuePolicy p : policies) {
-        std::vector<std::string> row = {smt::toString(p)};
+    for (const std::string &p : policies) {
+        std::vector<std::string> row = {p};
         smt::DataPoint last;
         for (unsigned t : counts) {
             smt::SmtConfig cfg = smt::presets::icount28(t);
-            cfg.issuePolicy = p;
+            cfg.issuePolicyName = p;
             last = smt::measure(cfg, opts);
             row.push_back(smt::fmtDouble(last.ipc(), 2));
         }

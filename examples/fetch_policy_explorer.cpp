@@ -1,7 +1,8 @@
 /**
  * @file
- * Fetch-policy explorer: compare the paper's five fetch priority
- * policies on a workload mix of your choosing, at one thread count.
+ * Fetch-policy explorer: compare every registered fetch priority
+ * policy — the paper's five plus any registry extensions — on a
+ * workload mix of your choosing, at one thread count.
  *
  * Usage: fetch_policy_explorer [threads] [benchmark ...]
  *   e.g. fetch_policy_explorer 4 xlisp tomcatv espresso fpppp
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "policy/registry.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
 #include "workload/mix.hh"
@@ -37,23 +39,18 @@ main(int argc, char **argv)
         std::printf(" %s", smt::benchmarkName(b));
     std::printf("\n\n");
 
-    const smt::FetchPolicy policies[] = {
-        smt::FetchPolicy::RoundRobin, smt::FetchPolicy::BrCount,
-        smt::FetchPolicy::MissCount, smt::FetchPolicy::ICount,
-        smt::FetchPolicy::IQPosn,
-    };
-
     smt::Table table("fetch policies on a custom mix (2.8 partitioning)");
     table.setHeader({"policy", "IPC", "int IQ-full", "fp IQ-full",
                      "wrong-path fetched"});
-    for (smt::FetchPolicy p : policies) {
+    const auto &registry = smt::policy::PolicyRegistry::instance();
+    for (const std::string &name : registry.fetchPolicyNames()) {
         smt::SmtConfig cfg = smt::presets::baseSmt(threads);
-        cfg.fetchPolicy = p;
+        cfg.fetchPolicyName = name;
         smt::presets::setFetchPartition(cfg, 2, 8);
         smt::Simulator sim(cfg, mix);
         sim.warmup(5000);
         const smt::SimStats &stats = sim.run(40000);
-        table.addRow({smt::toString(p), smt::fmtDouble(stats.ipc(), 2),
+        table.addRow({name, smt::fmtDouble(stats.ipc(), 2),
                       smt::fmtPercent(stats.intIQFullFraction()),
                       smt::fmtPercent(stats.fpIQFullFraction()),
                       smt::fmtPercent(stats.wrongPathFetchedFraction())});

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "policy/registry.hh"
 
 namespace smt
 {
@@ -44,10 +45,24 @@ toString(SpeculationMode m)
 }
 
 std::string
+SmtConfig::resolvedFetchPolicyName() const
+{
+    return fetchPolicyName.empty() ? toString(fetchPolicy)
+                                   : fetchPolicyName;
+}
+
+std::string
+SmtConfig::resolvedIssuePolicyName() const
+{
+    return issuePolicyName.empty() ? toString(issuePolicy)
+                                   : issuePolicyName;
+}
+
+std::string
 SmtConfig::fetchSchemeName() const
 {
     std::ostringstream os;
-    os << toString(fetchPolicy) << '.' << fetchThreads << '.'
+    os << resolvedFetchPolicyName() << '.' << fetchThreads << '.'
        << fetchPerThread;
     return os.str();
 }
@@ -85,6 +100,13 @@ SmtConfig::validate() const
     }
     if (pageBytes == 0 || (pageBytes & (pageBytes - 1)) != 0)
         smt_fatal("pageBytes must be a power of two");
+    const auto &registry = policy::PolicyRegistry::instance();
+    if (!registry.hasFetchPolicy(resolvedFetchPolicyName()))
+        smt_fatal("unregistered fetch policy \"%s\"",
+                  resolvedFetchPolicyName().c_str());
+    if (!registry.hasIssuePolicy(resolvedIssuePolicyName()))
+        smt_fatal("unregistered issue policy \"%s\"",
+                  resolvedIssuePolicyName().c_str());
 }
 
 namespace presets

@@ -81,6 +81,14 @@ struct SmtConfig
     // ---- Fetch / issue policy ------------------------------------------
     FetchPolicy fetchPolicy = FetchPolicy::RoundRobin;
     IssuePolicy issuePolicy = IssuePolicy::OldestFirst;
+    /**
+     * Registry-name overrides. When non-empty these select the fetch /
+     * issue policy by PolicyRegistry name (e.g. "ICOUNT+MISSCOUNT"),
+     * reaching policies that have no enum value; when empty, the enums
+     * above select one of the paper's policies.
+     */
+    std::string fetchPolicyName;
+    std::string issuePolicyName;
     SpeculationMode speculation = SpeculationMode::Full;
     bool itagEarlyLookup = false;  ///< ITAG: probe I-cache tags a cycle
                                    ///< early; adds one front-end stage.
@@ -152,6 +160,12 @@ struct SmtConfig
             return totalPhysRegisters;
         return kLogRegsPerFile * numThreads + excessRegisters;
     }
+
+    /** The registry name of the selected fetch policy. */
+    std::string resolvedFetchPolicyName() const;
+
+    /** The registry name of the selected issue policy. */
+    std::string resolvedIssuePolicyName() const;
 
     /** A human-readable fetch-scheme label, e.g. "ICOUNT.2.8". */
     std::string fetchSchemeName() const;

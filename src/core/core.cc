@@ -1,11 +1,9 @@
 #include "core/core.hh"
 
-#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
-#include "isa/latency.hh"
+#include "policy/registry.hh"
 
 namespace smt
 {
@@ -13,976 +11,35 @@ namespace smt
 SmtCore::SmtCore(const SmtConfig &cfg, MemoryHierarchy &mem,
                  BranchPredictor &bp, std::vector<ThreadProgram *> programs,
                  SimStats &stats)
-    : cfg_(cfg), mem_(mem), bp_(bp), stats_(stats),
-      numThreads_(cfg.numThreads),
-      execOffset_(cfg.longRegisterPipeline ? 3 : 2),
-      commitDelta_(cfg.longRegisterPipeline ? 2 : 1),
-      frontEndCap_(cfg.decodeWidth + cfg.renameWidth),
-      intRegs_(cfg.numThreads, cfg.physRegsPerFile()),
-      fpRegs_(cfg.numThreads, cfg.physRegsPerFile()),
-      intQueue_(cfg.intQueueEntries, cfg.iqSearchWindow),
-      fpQueue_(cfg.fpQueueEntries, cfg.iqSearchWindow)
+    : state_(cfg, mem, bp, stats),
+      fetchPolicy_(policy::makeFetchPolicy(cfg)),
+      issuePolicy_(policy::makeIssuePolicy(cfg)),
+      squash_(state_), commit_(state_), execute_(state_),
+      issue_(state_, *issuePolicy_), rename_(state_), decode_(state_),
+      fetch_(state_, *fetchPolicy_)
 {
     smt_assert(programs.size() == cfg.numThreads,
                "need one program per hardware context (%zu vs %u)",
                programs.size(), cfg.numThreads);
-    threads_.resize(numThreads_);
-    for (unsigned t = 0; t < numThreads_; ++t) {
-        threads_[t].program = programs[t];
-        threads_[t].fetchPc = programs[t]->entryPc();
+    for (unsigned t = 0; t < state_.numThreads; ++t) {
+        state_.threads[t].program = programs[t];
+        state_.threads[t].fetchPc = programs[t]->entryPc();
     }
 }
 
 void
 SmtCore::tick()
 {
-    applySquashes();
-    commitStage();
-    executeStage();
-    issueStage();
-    renameStage();
-    decodeStage();
-    fetchStage();
-    sampleOccupancy();
-    ++cycle_;
-    ++stats_.cycles;
-}
-
-// --------------------------------------------------------------------------
-// Squash handling
-// --------------------------------------------------------------------------
-
-void
-SmtCore::applySquashes()
-{
-    for (unsigned t = 0; t < numThreads_; ++t) {
-        ThreadState &ts = threads_[t];
-        if (ts.pendingSquash != nullptr && ts.pendingSquashCycle <= cycle_)
-        {
-            DynInst *branch = ts.pendingSquash;
-            ts.pendingSquash = nullptr;
-            squashThread(static_cast<ThreadID>(t), branch);
-        }
-    }
-}
-
-void
-SmtCore::dropFrontEndYounger(ThreadState &ts, const DynInst *from)
-{
-    std::uint64_t min_dropped_stream = kNoStreamIdx;
-    while (!ts.frontEnd.empty() && ts.frontEnd.back() != from) {
-        DynInst *inst = ts.frontEnd.back();
-        smt_assert(inst->seq > from->seq);
-        ts.frontEnd.pop_back();
-        --ts.frontAndQueueCount;
-        if (inst->isControl())
-            --ts.branchCount;
-        if (inst->streamIdx != kNoStreamIdx)
-            min_dropped_stream = std::min(min_dropped_stream,
-                                          inst->streamIdx);
-        pool_.release(inst);
-    }
-    // Rewind the oracle cursor for any consumed correct-path entries.
-    if (min_dropped_stream != kNoStreamIdx) {
-        ts.nextStreamIdx = min_dropped_stream;
-        ts.onWrongPath = false;
-    }
-}
-
-void
-SmtCore::squashThread(ThreadID tid, DynInst *branch)
-{
-    ThreadState &ts = threads_[tid];
-    smt_assert(!branch->wrongPath,
-               "wrong-path instructions never trigger squashes");
-
-    // Drop everything still in the front end (all younger than any
-    // renamed instruction of this thread).
-    while (!ts.frontEnd.empty()) {
-        DynInst *inst = ts.frontEnd.back();
-        ts.frontEnd.pop_back();
-        --ts.frontAndQueueCount;
-        if (inst->isControl())
-            --ts.branchCount;
-        pool_.release(inst);
-    }
-
-    // Unwind the ROB youngest-first down to (not including) the branch.
-    std::vector<DynInst *> squashed;
-    while (!ts.rob.empty() && ts.rob.back()->seq > branch->seq) {
-        DynInst *inst = ts.rob.back();
-        ts.rob.pop_back();
-        squashed.push_back(inst);
-
-        if (inst->si->dest.valid()) {
-            file(inst->si->dest.file)
-                .rollback(tid, inst->si->dest.index, inst->destPhys,
-                          inst->destPrevPhys);
-        }
-        if (inst->stage == InstStage::InQueue)
-            --ts.frontAndQueueCount;
-        if (inst->stage == InstStage::InQueue && inst->isControl())
-            --ts.branchCount;
-    }
-
-    // Purge the squashed set from every secondary structure.
-    if (!squashed.empty()) {
-        auto is_squashed = [&](const DynInst *i) {
-            return i->tid == tid && i->seq > branch->seq;
-        };
-        intQueue_.removeIf(is_squashed);
-        fpQueue_.removeIf(is_squashed);
-        std::erase_if(inFlight_, is_squashed);
-        for (auto &[when, bucket] : execAt_) {
-            if (when >= cycle_)
-                std::erase_if(bucket, is_squashed);
-        }
-        std::erase_if(ts.unresolvedBranches, is_squashed);
-        std::erase_if(ts.pendingStores, is_squashed);
-        if (ts.pendingSquash != nullptr &&
-            ts.pendingSquash->seq > branch->seq)
-            ts.pendingSquash = nullptr;
-        for (DynInst *inst : squashed)
-            pool_.release(inst);
-    }
-
-    // Repair predictor state and restart fetch on the correct path.
-    bp_.squashRepair(tid, branch->historySnapshot, branch->actualTaken,
-                     branch->rasCheckpoint);
-    smt_assert(branch->streamIdx != kNoStreamIdx);
-    ts.nextStreamIdx = branch->streamIdx + 1;
-    ts.onWrongPath = false;
-    ts.fetchPc = branch->actualNextPc;
-    ts.fetchReadyAt = std::max(ts.fetchReadyAt,
-                               cycle_ + (cfg_.itagEarlyLookup ? 1 : 0));
-}
-
-void
-SmtCore::releaseInst(DynInst *inst)
-{
-    ThreadState &ts = threads_[inst->tid];
-    if (inst->isControl())
-        std::erase(ts.unresolvedBranches, inst);
-    if (inst->isStore())
-        std::erase(ts.pendingStores, inst);
-    pool_.release(inst);
-}
-
-// --------------------------------------------------------------------------
-// Commit
-// --------------------------------------------------------------------------
-
-void
-SmtCore::commitStage()
-{
-    unsigned budget = cfg_.commitWidth;
-    for (unsigned i = 0; i < numThreads_ && budget > 0; ++i) {
-        const ThreadID tid =
-            static_cast<ThreadID>((commitBase_ + i) % numThreads_);
-        ThreadState &ts = threads_[tid];
-        while (budget > 0 && !ts.rob.empty()) {
-            DynInst *inst = ts.rob.front();
-            if (inst->stage != InstStage::Executed ||
-                inst->completeCycle > cycle_)
-                break;
-            smt_assert(!inst->wrongPath,
-                       "wrong-path instruction reached commit");
-
-            ++stats_.committedInstructions;
-            ++stats_.committedPerThread[tid];
-
-            const OpClass op = inst->si->op;
-            if (inst->si->isCondBranch()) {
-                ++stats_.condBranches;
-                if (inst->mispredicted)
-                    ++stats_.condBranchMispredicts;
-                bp_.resolveCondBranch(tid, inst->pc, inst->historySnapshot,
-                                      inst->actualTaken, inst->si->target);
-            } else if (op == OpClass::Return ||
-                       op == OpClass::IndirectJump) {
-                ++stats_.jumps;
-                if (inst->mispredicted)
-                    ++stats_.jumpMispredicts;
-            }
-
-            if (inst->si->dest.valid())
-                file(inst->si->dest.file).freeAtCommit(inst->destPrevPhys);
-
-            // The committed instructions of a thread must be exactly the
-            // oracle's correct-path stream, in order, gap-free.
-            smt_assert(inst->streamIdx == ts.nextCommitStreamIdx,
-                       "commit stream gap: expected %llu, got %llu",
-                       static_cast<unsigned long long>(
-                           ts.nextCommitStreamIdx),
-                       static_cast<unsigned long long>(inst->streamIdx));
-            ++ts.nextCommitStreamIdx;
-            ts.program->retireBefore(inst->streamIdx + 1);
-
-            ts.rob.pop_front();
-            releaseInst(inst);
-            --budget;
-        }
-    }
-    commitBase_ = (commitBase_ + 1) % numThreads_;
-}
-
-// --------------------------------------------------------------------------
-// Execute
-// --------------------------------------------------------------------------
-
-void
-SmtCore::executeStage()
-{
-    auto it = execAt_.find(cycle_);
-    if (it == execAt_.end())
-        return;
-    // Move the bucket out: execution never schedules into the current
-    // cycle, so this container is stable while we work through it.
-    std::vector<DynInst *> bucket = std::move(it->second);
-    execAt_.erase(it);
-    for (DynInst *inst : bucket)
-        executeInst(inst);
-}
-
-void
-SmtCore::executeInst(DynInst *inst)
-{
-    smt_assert(inst->stage == InstStage::Issued);
-    std::erase(inFlight_, inst);
-
-    if (inst->isLoad()) {
-        executeLoad(inst);
-        return;
-    }
-    if (inst->isStore()) {
-        executeStore(inst);
-        return;
-    }
-
-    inst->stage = InstStage::Executed;
-    const unsigned lat = opLatency(inst->si->op);
-    inst->completeCycle = cycle_ + (lat > 0 ? lat - 1 : 0) + commitDelta_;
-
-    if (inst->isControl())
-        resolveControl(inst);
-}
-
-void
-SmtCore::executeLoad(DynInst *inst)
-{
-    const auto r =
-        mem_.dataAccess(inst->tid, inst->memAddr, false, cycle_);
-    RegisterFileState &rf = file(inst->si->dest.file);
-    const PhysRegIndex dest = inst->destPhys;
-
-    if (r.bankConflict) {
-        // Retry from the queue; consumers issued on the optimistic
-        // wakeup are squashed.
-        inst->stage = InstStage::InQueue;
-        inst->iqReleaseCycle = kCycleNever;
-        ++threads_[inst->tid].frontAndQueueCount;
-        rf.setReadyAt(dest, kCycleNever);
-        rf.setUnverifiedUntil(dest, 0);
-        requeueDependents(inst->si->dest.file, dest);
-        return;
-    }
-
-    inst->stage = InstStage::Executed;
-    if (r.ready <= cycle_) {
-        // D-cache hit: the optimistic wakeup (issue + 1) was correct.
-        inst->completeCycle = cycle_ + commitDelta_;
-    } else {
-        // Miss: push the consumers' issue horizon out to the fill.
-        const Cycle consumer_issue =
-            std::max<Cycle>(r.ready + 1 > execOffset_
-                                ? r.ready + 1 - execOffset_
-                                : cycle_ + 1,
-                            cycle_ + 1);
-        rf.setReadyAt(dest, consumer_issue);
-        rf.setUnverifiedUntil(dest, 0);
-        requeueDependents(inst->si->dest.file, dest);
-        inst->completeCycle = r.ready + commitDelta_;
-    }
-}
-
-void
-SmtCore::executeStore(DynInst *inst)
-{
-    const auto r = mem_.dataAccess(inst->tid, inst->memAddr, true, cycle_);
-    if (r.bankConflict) {
-        inst->stage = InstStage::InQueue;
-        inst->iqReleaseCycle = kCycleNever;
-        ++threads_[inst->tid].frontAndQueueCount;
-        return;
-    }
-    inst->stage = InstStage::Executed;
-    // The write-allocate fill (on a miss) completes in the background;
-    // the store itself retires without waiting on it.
-    inst->completeCycle = cycle_ + commitDelta_;
-    std::erase(threads_[inst->tid].pendingStores, inst);
-}
-
-void
-SmtCore::resolveControl(DynInst *inst)
-{
-    if (inst->wrongPath) {
-        // Wrong-path control resolves as predicted; the originating
-        // misprediction's squash will remove it.
-        return;
-    }
-
-    const OpClass op = inst->si->op;
-    bool mispredict = false;
-    if (inst->si->isCondBranch()) {
-        mispredict = inst->predTaken != inst->actualTaken;
-    } else if (op == OpClass::Return || op == OpClass::IndirectJump) {
-        mispredict = inst->nextFetchPc != inst->actualNextPc;
-        bp_.updateTarget(inst->tid, inst->pc, inst->actualNextPc,
-                         op == OpClass::Return);
-    }
-
-    if (mispredict) {
-        inst->mispredicted = true;
-        ThreadState &ts = threads_[inst->tid];
-        if (ts.pendingSquash == nullptr ||
-            inst->seq < ts.pendingSquash->seq) {
-            ts.pendingSquash = inst;
-            ts.pendingSquashCycle = cycle_ + 1;
-        }
-    }
-}
-
-void
-SmtCore::requeueDependents(RegFile f, PhysRegIndex reg)
-{
-    // Work-list cascade: any issued-but-unexecuted instruction whose
-    // source is no longer ready by its issue cycle was issued on a stale
-    // optimistic wakeup and returns to its queue (a wasted issue slot —
-    // the "squashed optimistic instruction" of Section 6).
-    std::vector<std::pair<RegFile, PhysRegIndex>> work{{f, reg}};
-    while (!work.empty()) {
-        const auto [wf, wreg] = work.back();
-        work.pop_back();
-        RegisterFileState &rf = file(wf);
-        for (std::size_t i = 0; i < inFlight_.size();) {
-            DynInst *inst = inFlight_[i];
-            const bool dep1 = inst->si->src1.valid() &&
-                              inst->si->src1.file == wf &&
-                              inst->src1Phys == wreg;
-            const bool dep2 = inst->si->src2.valid() &&
-                              inst->si->src2.file == wf &&
-                              inst->src2Phys == wreg;
-            if ((!dep1 && !dep2) || rf.readyAt(wreg) <= inst->issueCycle) {
-                ++i;
-                continue;
-            }
-            // Squash this issue: back to the queue.
-            ++stats_.optimisticSquashes;
-            inFlight_[i] = inFlight_.back();
-            inFlight_.pop_back();
-            auto bucket = execAt_.find(inst->issueCycle + execOffset_);
-            smt_assert(bucket != execAt_.end());
-            std::erase(bucket->second, inst);
-            inst->stage = InstStage::InQueue;
-            inst->iqReleaseCycle = kCycleNever;
-            ++threads_[inst->tid].frontAndQueueCount;
-            if (inst->isControl())
-                ++threads_[inst->tid].branchCount;
-            if (inst->si->dest.valid()) {
-                RegisterFileState &drf = file(inst->si->dest.file);
-                drf.setReadyAt(inst->destPhys, kCycleNever);
-                drf.setUnverifiedUntil(inst->destPhys, 0);
-                work.emplace_back(inst->si->dest.file, inst->destPhys);
-            }
-        }
-    }
-}
-
-// --------------------------------------------------------------------------
-// Issue
-// --------------------------------------------------------------------------
-
-bool
-SmtCore::operandsReady(const DynInst *inst) const
-{
-    if (inst->si->src1.valid() &&
-        file(inst->si->src1.file).readyAt(inst->src1Phys) > cycle_)
-        return false;
-    if (inst->si->src2.valid() &&
-        file(inst->si->src2.file).readyAt(inst->src2Phys) > cycle_)
-        return false;
-    return true;
-}
-
-bool
-SmtCore::isOptimisticNow(const DynInst *inst) const
-{
-    if (inst->si->src1.valid() &&
-        file(inst->si->src1.file).unverifiedUntil(inst->src1Phys) > cycle_)
-        return true;
-    if (inst->si->src2.valid() &&
-        file(inst->si->src2.file).unverifiedUntil(inst->src2Phys) > cycle_)
-        return true;
-    return false;
-}
-
-bool
-SmtCore::issueAllowedBySpeculationMode(const DynInst *inst) const
-{
-    if (cfg_.speculation == SpeculationMode::Full)
-        return true;
-    const ThreadState &ts = threads_[inst->tid];
-    for (const DynInst *br : ts.unresolvedBranches) {
-        if (br->seq >= inst->seq)
-            continue;
-        if (cfg_.speculation == SpeculationMode::NoPassBranch) {
-            if (br->stage != InstStage::Executed)
-                return false;
-        } else { // NoWrongPathIssue
-            if (br->stage == InstStage::InQueue ||
-                br->stage == InstStage::Fetched ||
-                br->stage == InstStage::Decoded)
-                return false;
-            if (cycle_ < br->issueCycle + 4)
-                return false;
-        }
-    }
-    return true;
-}
-
-bool
-SmtCore::loadDisambiguated(const DynInst *inst) const
-{
-    const Addr mask = (Addr{1} << cfg_.disambiguationBits) - 1;
-    for (const DynInst *st : threads_[inst->tid].pendingStores) {
-        if (st->seq < inst->seq && st->stage != InstStage::Executed &&
-            (st->memAddr & mask) == (inst->memAddr & mask))
-            return false;
-    }
-    return true;
-}
-
-void
-SmtCore::collectCandidates(InstructionQueue &queue,
-                           std::vector<DynInst *> &out)
-{
-    // First release the entries whose hold time expired (issued
-    // instructions vacate a cycle after issue; optimistically issued
-    // ones once verified; loads once their access actually happened).
-    queue.removeIf([&](DynInst *i) {
-        return i->stage != InstStage::InQueue &&
-               i->iqReleaseCycle <= cycle_;
-    });
-
-    const std::size_t limit = queue.searchLimit();
-    for (std::size_t i = 0; i < limit; ++i) {
-        DynInst *inst = queue.at(i);
-        if (inst->stage != InstStage::InQueue)
-            continue;
-        if (inst->renameCycle >= cycle_)
-            continue; // entered the queue this cycle.
-        if (!issueAllowedBySpeculationMode(inst))
-            continue;
-        if (inst->isLoad() && !loadDisambiguated(inst))
-            continue;
-        out.push_back(inst);
-    }
-}
-
-void
-SmtCore::orderCandidates(std::vector<DynInst *> &cands)
-{
-    switch (cfg_.issuePolicy) {
-      case IssuePolicy::OldestFirst:
-        std::sort(cands.begin(), cands.end(),
-                  [](const DynInst *a, const DynInst *b) {
-                      return a->seq < b->seq;
-                  });
-        break;
-      case IssuePolicy::OptLast:
-        std::sort(cands.begin(), cands.end(),
-                  [this](const DynInst *a, const DynInst *b) {
-                      const bool oa = isOptimisticNow(a);
-                      const bool ob = isOptimisticNow(b);
-                      if (oa != ob)
-                          return !oa;
-                      return a->seq < b->seq;
-                  });
-        break;
-      case IssuePolicy::SpecLast: {
-        auto speculative = [this](const DynInst *inst) {
-            for (const DynInst *br :
-                 threads_[inst->tid].unresolvedBranches) {
-                if (br->seq < inst->seq &&
-                    br->stage != InstStage::Executed)
-                    return true;
-            }
-            return false;
-        };
-        std::sort(cands.begin(), cands.end(),
-                  [&](const DynInst *a, const DynInst *b) {
-                      const bool sa = speculative(a);
-                      const bool sb = speculative(b);
-                      if (sa != sb)
-                          return !sa;
-                      return a->seq < b->seq;
-                  });
-        break;
-      }
-      case IssuePolicy::BranchFirst:
-        std::sort(cands.begin(), cands.end(),
-                  [](const DynInst *a, const DynInst *b) {
-                      const bool ca = a->isControl();
-                      const bool cb = b->isControl();
-                      if (ca != cb)
-                          return ca;
-                      return a->seq < b->seq;
-                  });
-        break;
-    }
-}
-
-void
-SmtCore::issueInst(DynInst *inst)
-{
-    ThreadState &ts = threads_[inst->tid];
-    inst->stage = InstStage::Issued;
-    inst->issueCycle = cycle_;
-    inst->optimistic = isOptimisticNow(inst);
-
-    ++stats_.issuedInstructions;
-    if (inst->wrongPath)
-        ++stats_.issuedWrongPath;
-
-    Cycle release = cycle_ + 1;
-    if (inst->si->dest.valid()) {
-        RegisterFileState &rf = file(inst->si->dest.file);
-        if (inst->isLoad()) {
-            // Optimistic 1-cycle load-use wakeup; verified at execute.
-            rf.setReadyAt(inst->destPhys, cycle_ + 1);
-            rf.setUnverifiedUntil(inst->destPhys, cycle_ + execOffset_);
-        } else {
-            rf.setReadyAt(inst->destPhys,
-                          cycle_ + opLatency(inst->si->op));
-            // Propagate optimism downstream for OPT_LAST/statistics.
-            Cycle unv = 0;
-            if (inst->si->src1.valid())
-                unv = std::max(unv, file(inst->si->src1.file)
-                                        .unverifiedUntil(inst->src1Phys));
-            if (inst->si->src2.valid())
-                unv = std::max(unv, file(inst->si->src2.file)
-                                        .unverifiedUntil(inst->src2Phys));
-            rf.setUnverifiedUntil(inst->destPhys, unv);
-        }
-    }
-    if (inst->si->isMemory())
-        release = cycle_ + execOffset_; // held until the access actually
-                                        // happens (bank-conflict retry).
-    else if (inst->optimistic)
-        release = cycle_ + execOffset_; // held until sources verify.
-    inst->iqReleaseCycle = release;
-
-    execAt_[cycle_ + execOffset_].push_back(inst);
-    inFlight_.push_back(inst);
-
-    --ts.frontAndQueueCount;
-    if (inst->isControl())
-        --ts.branchCount;
-}
-
-void
-SmtCore::issueStage()
-{
-    const unsigned big = 1u << 20;
-    unsigned int_units =
-        cfg_.infiniteFunctionalUnits ? big : cfg_.intUnits;
-    unsigned ls_units =
-        cfg_.infiniteFunctionalUnits ? big : cfg_.loadStoreUnits;
-    unsigned fp_units = cfg_.infiniteFunctionalUnits ? big : cfg_.fpUnits;
-
-    std::vector<DynInst *> cands;
-    cands.reserve(64);
-
-    collectCandidates(intQueue_, cands);
-    orderCandidates(cands);
-    for (DynInst *inst : cands) {
-        if (int_units == 0)
-            break;
-        if (inst->si->isMemory() && ls_units == 0)
-            continue;
-        if (!operandsReady(inst))
-            continue;
-        --int_units;
-        if (inst->si->isMemory())
-            --ls_units;
-        issueInst(inst);
-    }
-
-    cands.clear();
-    collectCandidates(fpQueue_, cands);
-    orderCandidates(cands);
-    for (DynInst *inst : cands) {
-        if (fp_units == 0)
-            break;
-        if (!operandsReady(inst))
-            continue;
-        --fp_units;
-        issueInst(inst);
-    }
-}
-
-// --------------------------------------------------------------------------
-// Rename / dispatch
-// --------------------------------------------------------------------------
-
-void
-SmtCore::renameStage()
-{
-    if (intQueue_.full())
-        ++stats_.intIQFullCycles;
-    if (fpQueue_.full())
-        ++stats_.fpIQFullCycles;
-
-    unsigned budget = cfg_.renameWidth;
-    bool out_of_regs = false;
-    std::array<bool, kMaxThreads> blocked{};
-
-    while (budget > 0) {
-        // Pick the globally oldest renameable instruction (age-ordered
-        // shared rename bandwidth).
-        DynInst *best = nullptr;
-        for (unsigned t = 0; t < numThreads_; ++t) {
-            if (blocked[t])
-                continue;
-            ThreadState &ts = threads_[t];
-            if (ts.frontEnd.empty())
-                continue;
-            DynInst *head = ts.frontEnd.front();
-            if (head->stage != InstStage::Decoded ||
-                head->decodeCycle >= cycle_)
-                continue;
-            if (best == nullptr || head->seq < best->seq)
-                best = head;
-        }
-        if (best == nullptr)
-            break;
-
-        ThreadState &ts = threads_[best->tid];
-        InstructionQueue &q =
-            best->si->usesFpQueue() ? fpQueue_ : intQueue_;
-        if (q.full()) {
-            blocked[best->tid] = true;
-            ++stats_.fetchBlockedIQFull;
-            continue;
-        }
-        if (best->si->dest.valid() &&
-            !file(best->si->dest.file).hasFree()) {
-            blocked[best->tid] = true;
-            out_of_regs = true;
-            continue;
-        }
-
-        // Rename operands against the current map.
-        if (best->si->src1.valid())
-            best->src1Phys = file(best->si->src1.file)
-                                 .lookup(best->tid, best->si->src1.index);
-        if (best->si->src2.valid())
-            best->src2Phys = file(best->si->src2.file)
-                                 .lookup(best->tid, best->si->src2.index);
-        if (best->si->dest.valid()) {
-            auto [fresh, prev] =
-                file(best->si->dest.file)
-                    .rename(best->tid, best->si->dest.index);
-            best->destPhys = fresh;
-            best->destPrevPhys = prev;
-        }
-
-        best->stage = InstStage::InQueue;
-        best->renameCycle = cycle_;
-        best->inIntQueue = &q == &intQueue_;
-        q.insert(best);
-
-        ts.frontEnd.pop_front();
-        ts.rob.push_back(best);
-        if (best->isControl())
-            ts.unresolvedBranches.push_back(best);
-        if (best->isStore())
-            ts.pendingStores.push_back(best);
-        --budget;
-    }
-
-    if (out_of_regs)
-        ++stats_.outOfRegistersCycles;
-}
-
-// --------------------------------------------------------------------------
-// Decode
-// --------------------------------------------------------------------------
-
-void
-SmtCore::decodeStage()
-{
-    unsigned budget = cfg_.decodeWidth;
-    std::array<std::size_t, kMaxThreads> idx{};
-
-    while (budget > 0) {
-        DynInst *best = nullptr;
-        for (unsigned t = 0; t < numThreads_; ++t) {
-            ThreadState &ts = threads_[t];
-            // Skip past already-decoded entries waiting for rename;
-            // decode is in-order, so the next Fetched entry is eligible.
-            while (idx[t] < ts.frontEnd.size() &&
-                   ts.frontEnd[idx[t]]->stage != InstStage::Fetched)
-                ++idx[t];
-            if (idx[t] >= ts.frontEnd.size())
-                continue;
-            DynInst *cand = ts.frontEnd[idx[t]];
-            if (cand->fetchCycle >= cycle_)
-                continue;
-            if (best == nullptr || cand->seq < best->seq)
-                best = cand;
-        }
-        if (best == nullptr)
-            break;
-
-        ThreadState &ts = threads_[best->tid];
-        best->stage = InstStage::Decoded;
-        best->decodeCycle = cycle_;
-        ++idx[best->tid];
-        --budget;
-
-        // Misfetch detection: decode can compute direct targets, so a
-        // predicted-taken direct transfer whose target the BTB did not
-        // (or wrongly) supply redirects fetch here (2-cycle penalty).
-        const OpClass op = best->si->op;
-        const bool direct_taken =
-            (op == OpClass::Jump || op == OpClass::Call ||
-             (best->si->isCondBranch() && best->predTaken));
-        if (direct_taken) {
-            const Addr expected = best->si->target;
-            if (best->nextFetchPc != expected) {
-                ++stats_.misfetches;
-                dropFrontEndYounger(ts, best);
-                bp_.misfetchRepair(best->tid, *best->si, best->pc,
-                                   best->historySnapshot, best->predTaken,
-                                   best->rasCheckpoint);
-                best->nextFetchPc = expected;
-                ts.fetchPc = expected;
-                ts.fetchReadyAt =
-                    std::max(ts.fetchReadyAt,
-                             cycle_ + 1 + (cfg_.itagEarlyLookup ? 1 : 0));
-                if (!best->wrongPath) {
-                    ts.nextStreamIdx = best->streamIdx + 1;
-                    ts.onWrongPath = false;
-                }
-            }
-            bp_.updateTarget(best->tid, best->pc, expected, false);
-        }
-    }
-}
-
-// --------------------------------------------------------------------------
-// Fetch
-// --------------------------------------------------------------------------
-
-double
-SmtCore::fetchPriorityKey(ThreadID tid)
-{
-    ThreadState &ts = threads_[tid];
-    switch (cfg_.fetchPolicy) {
-      case FetchPolicy::RoundRobin:
-        return 0.0;
-      case FetchPolicy::BrCount:
-        return static_cast<double>(ts.branchCount);
-      case FetchPolicy::MissCount:
-        return static_cast<double>(mem_.outstandingDMisses(tid, cycle_));
-      case FetchPolicy::ICount:
-        return static_cast<double>(ts.frontAndQueueCount);
-      case FetchPolicy::IQPosn: {
-        std::size_t pos_int[kMaxThreads];
-        std::size_t pos_fp[kMaxThreads];
-        intQueue_.oldestPositions(pos_int);
-        fpQueue_.oldestPositions(pos_fp);
-        const std::size_t closest = std::min(pos_int[tid], pos_fp[tid]);
-        // Instructions near a queue head mean low priority.
-        return -static_cast<double>(closest);
-      }
-    }
-    return 0.0;
-}
-
-void
-SmtCore::selectFetchThreads(std::vector<ThreadID> &out)
-{
-    struct Cand
-    {
-        double key;
-        unsigned rr;
-        ThreadID tid;
-    };
-    std::vector<Cand> cands;
-    cands.reserve(numThreads_);
-
-    for (unsigned t = 0; t < numThreads_; ++t) {
-        const ThreadID tid = static_cast<ThreadID>(t);
-        ThreadState &ts = threads_[t];
-        if (ts.fetchReadyAt > cycle_)
-            continue;
-        if (ts.frontEnd.size() + cfg_.fetchPerThread > frontEndCap_) {
-            ++stats_.fetchBlockedIQFull;
-            continue;
-        }
-        if (ts.program->image().at(ts.fetchPc) == nullptr)
-            continue; // bogus predicted target; awaiting resolution.
-        if (cfg_.itagEarlyLookup && !mem_.icacheWouldHit(ts.fetchPc)) {
-            // ITAG: the probe happened a cycle early, so the miss can
-            // start now while another thread takes the fetch slot.
-            const auto r = mem_.fetchAccess(tid, ts.fetchPc, cycle_);
-            if (!r.bankConflict && r.ready > cycle_)
-                ts.fetchReadyAt = r.ready;
-            continue;
-        }
-        const unsigned rr = (t + numThreads_ - rrBase_) % numThreads_;
-        cands.push_back({fetchPriorityKey(tid), rr, tid});
-    }
-
-    std::sort(cands.begin(), cands.end(), [](const Cand &a, const Cand &b) {
-        if (a.key != b.key)
-            return a.key < b.key;
-        return a.rr < b.rr;
-    });
-
-    // Take up to fetchThreads threads, skipping I-cache bank conflicts
-    // against already chosen ones.
-    std::vector<unsigned> banks;
-    for (const Cand &c : cands) {
-        if (out.size() >= cfg_.fetchThreads)
-            break;
-        const unsigned bank = mem_.icacheBank(threads_[c.tid].fetchPc);
-        if (std::find(banks.begin(), banks.end(), bank) != banks.end())
-            continue;
-        banks.push_back(bank);
-        out.push_back(c.tid);
-    }
-}
-
-DynInst *
-SmtCore::buildInst(ThreadState &ts, ThreadID tid, Addr pc)
-{
-    const StaticInst *si = ts.program->image().at(pc);
-    smt_assert(si != nullptr);
-
-    DynInst *inst = pool_.alloc();
-    inst->seq = nextSeq_++;
-    inst->tid = tid;
-    inst->pc = pc;
-    inst->si = si;
-    inst->fetchCycle = cycle_;
-
-    if (!ts.onWrongPath) {
-        const OracleEntry &e = ts.program->entryAt(ts.nextStreamIdx);
-        if (e.pc == pc) {
-            inst->streamIdx = ts.nextStreamIdx++;
-            inst->actualTaken = e.taken;
-            inst->actualNextPc = e.nextPc;
-            inst->memAddr = e.memAddr;
-        } else {
-            ts.onWrongPath = true;
-        }
-    }
-    if (inst->streamIdx == kNoStreamIdx) {
-        inst->wrongPath = true;
-        if (si->isMemory())
-            inst->memAddr =
-                ts.program->image().wrongPathMemAddr(*si, inst->seq);
-    }
-    return inst;
-}
-
-unsigned
-SmtCore::fetchFromThread(ThreadID tid, unsigned max_insts)
-{
-    ThreadState &ts = threads_[tid];
-    Addr pc = ts.fetchPc;
-    // The fetch block: up to the end of the aligned 8-instruction
-    // (32-byte) group the PC falls in — the output-bus granularity.
-    const Addr block_end = (pc & ~Addr{31}) + 32;
-    unsigned fetched = 0;
-
-    while (fetched < max_insts && pc < block_end) {
-        const StaticInst *si = ts.program->image().at(pc);
-        if (si == nullptr)
-            break;
-        DynInst *inst = buildInst(ts, tid, pc);
-        bool stop = false;
-
-        if (si->isControl()) {
-            const FetchPrediction fp =
-                bp_.predict(tid, pc, *si, inst->actualTaken,
-                            inst->actualNextPc);
-            inst->predTaken = fp.predTaken;
-            inst->historySnapshot = fp.historySnapshot;
-            inst->rasCheckpoint = fp.rasCheckpoint;
-            Addr next = pc + kInstBytes;
-            if (fp.predTaken && fp.predTarget != kNoAddr)
-                next = fp.predTarget;
-            inst->nextFetchPc = next;
-            if (inst->wrongPath) {
-                // Wrong-path control resolves as it predicted.
-                inst->actualTaken = fp.predTaken;
-                inst->actualNextPc = next;
-            }
-            pc = next;
-            stop = fp.predTaken; // no fetching past a taken branch.
-        } else {
-            inst->nextFetchPc = pc + kInstBytes;
-            pc += kInstBytes;
-        }
-
-        ts.frontEnd.push_back(inst);
-        ++ts.frontAndQueueCount;
-        if (inst->isControl())
-            ++ts.branchCount;
-        ++stats_.fetchedInstructions;
-        if (inst->wrongPath)
-            ++stats_.fetchedWrongPath;
-        ++fetched;
-        if (stop)
-            break;
-    }
-
-    ts.fetchPc = pc;
-    return fetched;
-}
-
-void
-SmtCore::fetchStage()
-{
-    std::vector<ThreadID> selected;
-    selectFetchThreads(selected);
-
-    unsigned total = 0;
-    for (ThreadID tid : selected) {
-        if (total >= cfg_.fetchWidth)
-            break;
-        ThreadState &ts = threads_[tid];
-        const unsigned budget =
-            std::min(cfg_.fetchPerThread, cfg_.fetchWidth - total);
-
-        const auto r = mem_.fetchAccess(tid, ts.fetchPc, cycle_);
-        if (r.bankConflict)
-            continue; // lost the bank to fill traffic this cycle.
-        if (r.ready > cycle_) {
-            // I-cache (or ITLB) miss: the thread stalls while it fills.
-            ts.fetchReadyAt = r.ready;
-            continue;
-        }
-        total += fetchFromThread(tid, budget);
-    }
-
-    rrBase_ = (rrBase_ + 1) % numThreads_;
-    if (total == 0)
-        ++stats_.fetchCyclesIdle;
+    squash_.tick();
+    commit_.tick();
+    execute_.tick();
+    issue_.tick();
+    rename_.tick();
+    decode_.tick();
+    fetch_.tick();
+    state_.sampleOccupancy();
+    ++state_.cycle;
+    ++state_.stats.cycles;
 }
 
 // --------------------------------------------------------------------------
@@ -997,7 +54,7 @@ SmtCore::validateInvariants() const
     // by an in-flight instruction with a destination.
     unsigned in_flight_int = 0;
     unsigned in_flight_fp = 0;
-    for (const ThreadState &ts : threads_) {
+    for (const ThreadState &ts : state_.threads) {
         InstSeqNum prev_seq = 0;
         for (const DynInst *inst : ts.rob) {
             smt_assert(inst->seq > prev_seq, "ROB not in program order");
@@ -1018,42 +75,44 @@ SmtCore::validateInvariants() const
                        inst->stage == InstStage::Decoded);
         }
     }
-    const unsigned arch = kLogRegsPerFile * numThreads_;
-    smt_assert(intRegs_.freeCount() + arch + in_flight_int ==
-                   intRegs_.physRegs(),
+    const unsigned arch = kLogRegsPerFile * state_.numThreads;
+    smt_assert(state_.intRegs.freeCount() + arch + in_flight_int ==
+                   state_.intRegs.physRegs(),
                "integer register leak: %u free + %u arch + %u in-flight "
                "!= %u",
-               intRegs_.freeCount(), arch, in_flight_int,
-               intRegs_.physRegs());
-    smt_assert(fpRegs_.freeCount() + arch + in_flight_fp ==
-                   fpRegs_.physRegs(),
+               state_.intRegs.freeCount(), arch, in_flight_int,
+               state_.intRegs.physRegs());
+    smt_assert(state_.fpRegs.freeCount() + arch + in_flight_fp ==
+                   state_.fpRegs.physRegs(),
                "FP register leak: %u free + %u arch + %u in-flight != %u",
-               fpRegs_.freeCount(), arch, in_flight_fp,
-               fpRegs_.physRegs());
+               state_.fpRegs.freeCount(), arch, in_flight_fp,
+               state_.fpRegs.physRegs());
 
-    smt_assert(intQueue_.size() <= intQueue_.capacity());
-    smt_assert(fpQueue_.size() <= fpQueue_.capacity());
+    smt_assert(state_.intQueue.size() <= state_.intQueue.capacity());
+    smt_assert(state_.fpQueue.size() <= state_.fpQueue.capacity());
 }
 
 void
 SmtCore::debugDump() const
 {
     std::fprintf(stderr, "=== cycle %llu ===\n",
-                 static_cast<unsigned long long>(cycle_));
+                 static_cast<unsigned long long>(state_.cycle));
     std::fprintf(stderr, "intQ=%zu fpQ=%zu inFlight=%zu live=%zu\n",
-                 intQueue_.size(), fpQueue_.size(), inFlight_.size(),
-                 pool_.live());
+                 state_.intQueue.size(), state_.fpQueue.size(),
+                 state_.inFlight.size(), state_.pool.live());
     auto dump_inst = [&](const char *tag, const DynInst *i) {
         const char *ready1 =
             !i->si->src1.valid()
                 ? "-"
-                : (file(i->si->src1.file).readyAt(i->src1Phys) <= cycle_
+                : (state_.file(i->si->src1.file).readyAt(i->src1Phys) <=
+                           state_.cycle
                        ? "rdy"
                        : "wait");
         const char *ready2 =
             !i->si->src2.valid()
                 ? "-"
-                : (file(i->si->src2.file).readyAt(i->src2Phys) <= cycle_
+                : (state_.file(i->si->src2.file).readyAt(i->src2Phys) <=
+                           state_.cycle
                        ? "rdy"
                        : "wait");
         std::fprintf(stderr,
@@ -1067,8 +126,8 @@ SmtCore::debugDump() const
                      static_cast<unsigned long long>(i->completeCycle),
                      static_cast<unsigned long long>(i->iqReleaseCycle));
     };
-    for (unsigned t = 0; t < numThreads_; ++t) {
-        const ThreadState &ts = threads_[t];
+    for (unsigned t = 0; t < state_.numThreads; ++t) {
+        const ThreadState &ts = state_.threads[t];
         std::fprintf(stderr,
                      "thread %u: fetchPc=%llx readyAt=%llu frontEnd=%zu "
                      "rob=%zu count=%u wrongPath=%d\n",
@@ -1081,21 +140,10 @@ SmtCore::debugDump() const
         if (!ts.frontEnd.empty())
             dump_inst("fe-head", ts.frontEnd.front());
     }
-    for (std::size_t i = 0; i < intQueue_.size(); ++i)
-        dump_inst("intQ", intQueue_.at(i));
-    for (std::size_t i = 0; i < fpQueue_.size(); ++i)
-        dump_inst("fpQ", fpQueue_.at(i));
-}
-
-// --------------------------------------------------------------------------
-// Occupancy sampling
-// --------------------------------------------------------------------------
-
-void
-SmtCore::sampleOccupancy()
-{
-    stats_.combinedQueuePopulation.sample(intQueue_.size() +
-                                          fpQueue_.size());
+    for (std::size_t i = 0; i < state_.intQueue.size(); ++i)
+        dump_inst("intQ", state_.intQueue.at(i));
+    for (std::size_t i = 0; i < state_.fpQueue.size(); ++i)
+        dump_inst("fpQ", state_.fpQueue.at(i));
 }
 
 } // namespace smt

@@ -2,8 +2,12 @@
  * @file
  * SmtCore: the simultaneous multithreading pipeline of Section 2.
  *
- * Stage order inside tick() runs back-to-front so each stage consumes
- * state the previous cycle produced:
+ * The core is a thin composition root: it owns the shared
+ * PipelineState, resolves the configured fetch/issue policies through
+ * the PolicyRegistry once at construction, and wires up one stage
+ * object per pipeline stage (src/core/stages/). tick() is the
+ * back-to-front stage walk so each stage consumes state the previous
+ * cycle produced:
  *   squash-apply -> commit -> execute -> issue -> rename/dispatch ->
  *   decode -> fetch
  *
@@ -22,19 +26,19 @@
 #ifndef SMT_CORE_CORE_HH
 #define SMT_CORE_CORE_HH
 
-#include <array>
-#include <deque>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
-#include "branch/predictor.hh"
-#include "config/config.hh"
-#include "core/inst_pool.hh"
-#include "core/instruction_queue.hh"
-#include "core/rename_map.hh"
-#include "mem/hierarchy.hh"
-#include "stats/stats.hh"
-#include "workload/oracle.hh"
+#include "core/pipeline_state.hh"
+#include "core/stages/commit.hh"
+#include "core/stages/decode.hh"
+#include "core/stages/execute.hh"
+#include "core/stages/fetch.hh"
+#include "core/stages/issue.hh"
+#include "core/stages/rename_dispatch.hh"
+#include "core/stages/squash.hh"
+#include "policy/fetch_policy.hh"
+#include "policy/issue_policy.hh"
 
 namespace smt
 {
@@ -51,16 +55,29 @@ class SmtCore
             BranchPredictor &bp, std::vector<ThreadProgram *> programs,
             SimStats &stats);
 
+    // The stage objects hold references into state_: moving or copying
+    // a core would leave them aimed at the source object.
+    SmtCore(const SmtCore &) = delete;
+    SmtCore &operator=(const SmtCore &) = delete;
+
     /** Advance the machine one cycle. */
     void tick();
 
-    Cycle cycle() const { return cycle_; }
+    Cycle cycle() const { return state_.cycle; }
 
     /** Committed useful instructions so far (all threads). */
-    std::uint64_t committed() const { return stats_.committedInstructions; }
+    std::uint64_t
+    committed() const
+    {
+        return state_.stats.committedInstructions;
+    }
 
     /** Live in-flight instruction count (liveness checks in tests). */
-    std::size_t liveInstructions() const { return pool_.live(); }
+    std::size_t liveInstructions() const { return state_.pool.live(); }
+
+    /** The resolved policy objects (introspection for tests/tools). */
+    const policy::FetchPolicy &fetchPolicy() const { return *fetchPolicy_; }
+    const policy::IssuePolicy &issuePolicy() const { return *issuePolicy_; }
 
     /**
      * Check structural invariants (register conservation, program-order
@@ -72,128 +89,20 @@ class SmtCore
     void debugDump() const;
 
   private:
-    // ---- Per-thread state ---------------------------------------------
-    struct ThreadState
-    {
-        ThreadProgram *program = nullptr;
+    PipelineState state_;
 
-        Addr fetchPc = 0;
-        std::uint64_t nextStreamIdx = 0;
-        bool onWrongPath = false;
+    std::unique_ptr<policy::FetchPolicy> fetchPolicy_;
+    std::unique_ptr<policy::IssuePolicy> issuePolicy_;
 
-        /** Thread may not fetch again before this cycle (I-cache miss,
-         *  redirect bubble). */
-        Cycle fetchReadyAt = 0;
-
-        /** Fetched but not yet renamed, in order (fetch/decode buffer). */
-        std::deque<DynInst *> frontEnd;
-
-        /** Renamed and not yet committed, in order (the thread's ROB). */
-        std::deque<DynInst *> rob;
-
-        /** In-flight (renamed, unexecuted) control instructions, used by
-         *  the SPEC_LAST policy and the speculation-mode restrictions. */
-        std::vector<DynInst *> unresolvedBranches;
-
-        /** In-flight (renamed, unexecuted) stores, for disambiguation. */
-        std::vector<DynInst *> pendingStores;
-
-        /** ICOUNT / BRCOUNT counters: instructions (branches) currently
-         *  in decode, rename, or an instruction queue. */
-        unsigned frontAndQueueCount = 0;
-        unsigned branchCount = 0;
-
-        /** Pending mispredict squash (applied the cycle after exec). */
-        DynInst *pendingSquash = nullptr;
-        Cycle pendingSquashCycle = 0;
-
-        /** Commit-order check: the stream index the next committed
-         *  instruction of this thread must carry. */
-        std::uint64_t nextCommitStreamIdx = 0;
-    };
-
-    // ---- Stages ----------------------------------------------------------
-    void applySquashes();
-    void commitStage();
-    void executeStage();
-    void issueStage();
-    void renameStage();
-    void decodeStage();
-    void fetchStage();
-    void sampleOccupancy();
-
-    // ---- Fetch helpers ----------------------------------------------------
-    /** Priority-ordered candidate thread list for this cycle. */
-    void selectFetchThreads(std::vector<ThreadID> &out);
-    double fetchPriorityKey(ThreadID tid);
-    unsigned fetchFromThread(ThreadID tid, unsigned max_insts);
-    DynInst *buildInst(ThreadState &ts, ThreadID tid, Addr pc);
-
-    // ---- Issue helpers -------------------------------------------------------
-    void collectCandidates(InstructionQueue &queue,
-                           std::vector<DynInst *> &out);
-    bool operandsReady(const DynInst *inst) const;
-    bool issueAllowedBySpeculationMode(const DynInst *inst) const;
-    bool loadDisambiguated(const DynInst *inst) const;
-    void orderCandidates(std::vector<DynInst *> &cands);
-    bool isOptimisticNow(const DynInst *inst) const;
-    void issueInst(DynInst *inst);
-
-    // ---- Execute helpers -----------------------------------------------------
-    void executeInst(DynInst *inst);
-    void executeLoad(DynInst *inst);
-    void executeStore(DynInst *inst);
-    void resolveControl(DynInst *inst);
-    /** Squash issued-but-unexecuted consumers of a register whose ready
-     *  time just moved later (optimistic-issue repair; cascades). */
-    void requeueDependents(RegFile file, PhysRegIndex reg);
-
-    // ---- Squash / redirect helpers ----------------------------------------
-    /** Drop not-yet-renamed younger instructions (decode redirect). */
-    void dropFrontEndYounger(ThreadState &ts, const DynInst *from);
-    /** Full squash of everything younger than `branch` (mispredict). */
-    void squashThread(ThreadID tid, DynInst *branch);
-    void releaseInst(DynInst *inst);
-
-    RegisterFileState &file(RegFile f)
-    {
-        return f == RegFile::Int ? intRegs_ : fpRegs_;
-    }
-
-    const RegisterFileState &file(RegFile f) const
-    {
-        return f == RegFile::Int ? intRegs_ : fpRegs_;
-    }
-
-    // ---- Fixed configuration -------------------------------------------------
-    const SmtConfig &cfg_;
-    MemoryHierarchy &mem_;
-    BranchPredictor &bp_;
-    SimStats &stats_;
-
-    unsigned numThreads_;
-    unsigned execOffset_;  ///< issue -> execute distance.
-    unsigned commitDelta_; ///< execute-end -> commit-eligible distance.
-    unsigned frontEndCap_; ///< fetch backpressure bound per thread.
-
-    // ---- Machine state ----------------------------------------------------
-    Cycle cycle_ = 0;
-    InstSeqNum nextSeq_ = 1;
-    InstPool pool_;
-
-    std::vector<ThreadState> threads_;
-    RegisterFileState intRegs_;
-    RegisterFileState fpRegs_;
-    InstructionQueue intQueue_;
-    InstructionQueue fpQueue_;
-
-    /** Issued, awaiting execute; bucketed by execute cycle. */
-    std::unordered_map<Cycle, std::vector<DynInst *>> execAt_;
-    /** Issued-but-not-executed, for optimistic-squash scans. */
-    std::vector<DynInst *> inFlight_;
-
-    unsigned rrBase_ = 0;     ///< round-robin rotation for fetch.
-    unsigned commitBase_ = 0; ///< round-robin rotation for commit.
+    // Stage objects, declared in tick() order (construction order
+    // matters only in that each stage takes state_ by reference).
+    SquashStage squash_;
+    CommitStage commit_;
+    ExecuteStage execute_;
+    IssueStage issue_;
+    RenameDispatchStage rename_;
+    DecodeStage decode_;
+    FetchStage fetch_;
 };
 
 } // namespace smt

@@ -16,13 +16,16 @@ InstructionQueue::remove(DynInst *inst)
 }
 
 void
-InstructionQueue::oldestPositions(std::size_t out[kMaxThreads]) const
+InstructionQueue::oldestPositions(std::span<std::size_t> out) const
 {
-    for (unsigned t = 0; t < kMaxThreads; ++t)
-        out[t] = queue_.size();
+    for (std::size_t &slot : out)
+        slot = queue_.size();
     for (std::size_t i = 0; i < queue_.size(); ++i) {
         const DynInst *inst = queue_[i];
-        if (inst->stage == InstStage::InQueue && out[inst->tid] == queue_.size())
+        if (inst->tid >= out.size())
+            continue;
+        if (inst->stage == InstStage::InQueue &&
+            out[inst->tid] == queue_.size())
             out[inst->tid] = i;
     }
 }

@@ -10,6 +10,7 @@
 #ifndef SMT_CORE_INSTRUCTION_QUEUE_HH
 #define SMT_CORE_INSTRUCTION_QUEUE_HH
 
+#include <span>
 #include <vector>
 
 #include "core/dyn_inst.hh"
@@ -65,10 +66,19 @@ class InstructionQueue
 
     /**
      * Position (0 = head = oldest) of the first not-yet-issued entry of
-     * each thread; kMaxThreads-sized output, entry = queue size when the
-     * thread has nothing here. Used by the IQPOSN fetch policy.
+     * each thread; `out` holds one slot per thread of interest, entry =
+     * queue size when the thread has nothing here. Entries for threads
+     * beyond out.size() are ignored (bounds-checked). Used by the
+     * IQPOSN fetch policy.
      */
-    void oldestPositions(std::size_t out[kMaxThreads]) const;
+    void oldestPositions(std::span<std::size_t> out) const;
+
+    /** Fixed-capacity overload for callers sized to the maximum. */
+    void
+    oldestPositions(std::size_t (&out)[kMaxThreads]) const
+    {
+        oldestPositions(std::span<std::size_t>(out, kMaxThreads));
+    }
 
   private:
     unsigned entries_;

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * PipelineState: the machine state shared by every pipeline stage.
+ *
+ * The SMT core is organised as a set of stage objects (src/core/stages/)
+ * that each operate on this one structure. PipelineState owns the
+ * per-thread state, the renamed register files, the instruction queues,
+ * the in-flight bookkeeping, and the cycle counter; the stages own no
+ * state of their own beyond scratch buffers. Helpers that several stages
+ * need (register-file selection, operand readiness, instruction release)
+ * live here rather than on any single stage.
+ */
+
+#ifndef SMT_CORE_PIPELINE_STATE_HH
+#define SMT_CORE_PIPELINE_STATE_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "config/config.hh"
+#include "core/inst_pool.hh"
+#include "core/instruction_queue.hh"
+#include "core/rename_map.hh"
+#include "mem/hierarchy.hh"
+#include "stats/stats.hh"
+#include "workload/oracle.hh"
+
+namespace smt
+{
+
+/** Per-hardware-context pipeline state. */
+struct ThreadState
+{
+    ThreadProgram *program = nullptr;
+
+    Addr fetchPc = 0;
+    std::uint64_t nextStreamIdx = 0;
+    bool onWrongPath = false;
+
+    /** Thread may not fetch again before this cycle (I-cache miss,
+     *  redirect bubble). */
+    Cycle fetchReadyAt = 0;
+
+    /** Fetched but not yet renamed, in order (fetch/decode buffer). */
+    std::deque<DynInst *> frontEnd;
+
+    /** Renamed and not yet committed, in order (the thread's ROB). */
+    std::deque<DynInst *> rob;
+
+    /** In-flight (renamed, unexecuted) control instructions, used by
+     *  the SPEC_LAST policy and the speculation-mode restrictions. */
+    std::vector<DynInst *> unresolvedBranches;
+
+    /** In-flight (renamed, unexecuted) stores, for disambiguation. */
+    std::vector<DynInst *> pendingStores;
+
+    /** ICOUNT / BRCOUNT counters: instructions (branches) currently
+     *  in decode, rename, or an instruction queue. */
+    unsigned frontAndQueueCount = 0;
+    unsigned branchCount = 0;
+
+    /** Pending mispredict squash (applied the cycle after exec). */
+    DynInst *pendingSquash = nullptr;
+    Cycle pendingSquashCycle = 0;
+
+    /** Commit-order check: the stream index the next committed
+     *  instruction of this thread must carry. */
+    std::uint64_t nextCommitStreamIdx = 0;
+};
+
+/** All machine state the pipeline stages operate on. */
+struct PipelineState
+{
+    PipelineState(const SmtConfig &config, MemoryHierarchy &memory,
+                  BranchPredictor &branch_pred, SimStats &sim_stats);
+
+    // The containers hold raw DynInst pointers into this object's own
+    // pool; a copy would share live instructions with the source.
+    PipelineState(const PipelineState &) = delete;
+    PipelineState &operator=(const PipelineState &) = delete;
+
+    // ---- Fixed configuration and shared subsystems --------------------
+    const SmtConfig &cfg;
+    MemoryHierarchy &mem;
+    BranchPredictor &bp;
+    SimStats &stats;
+
+    unsigned numThreads;
+    unsigned execOffset;  ///< issue -> execute distance.
+    unsigned commitDelta; ///< execute-end -> commit-eligible distance.
+    unsigned frontEndCap; ///< fetch backpressure bound per thread.
+
+    // ---- Machine state -------------------------------------------------
+    Cycle cycle = 0;
+    InstSeqNum nextSeq = 1;
+    InstPool pool;
+
+    std::vector<ThreadState> threads;
+    RegisterFileState intRegs;
+    RegisterFileState fpRegs;
+    InstructionQueue intQueue;
+    InstructionQueue fpQueue;
+
+    /** Issued, awaiting execute; bucketed by execute cycle. */
+    std::unordered_map<Cycle, std::vector<DynInst *>> execAt;
+    /** Issued-but-not-executed, for optimistic-squash scans. */
+    std::vector<DynInst *> inFlight;
+
+    unsigned rrBase = 0;     ///< round-robin rotation for fetch.
+    unsigned commitBase = 0; ///< round-robin rotation for commit.
+
+    // ---- Shared helpers --------------------------------------------------
+    RegisterFileState &
+    file(RegFile f)
+    {
+        return f == RegFile::Int ? intRegs : fpRegs;
+    }
+
+    const RegisterFileState &
+    file(RegFile f) const
+    {
+        return f == RegFile::Int ? intRegs : fpRegs;
+    }
+
+    /** True when both renamed sources are ready this cycle. */
+    bool operandsReady(const DynInst *inst) const;
+
+    /** True when a source value still rests on an unverified load hit. */
+    bool isOptimisticNow(const DynInst *inst) const;
+
+    /** Return an instruction to the pool, clearing the side lists. */
+    void releaseInst(DynInst *inst);
+
+    /**
+     * Drop not-yet-renamed instructions younger than `from` from the
+     * thread's front end (decode redirect), rewinding the oracle cursor
+     * past any consumed correct-path entries.
+     */
+    void dropFrontEndYounger(ThreadState &ts, const DynInst *from);
+
+    void
+    sampleOccupancy()
+    {
+        stats.combinedQueuePopulation.sample(intQueue.size() +
+                                             fpQueue.size());
+    }
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_PIPELINE_STATE_HH

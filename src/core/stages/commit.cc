@@ -1,0 +1,65 @@
+#include "core/stages/commit.hh"
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+void
+CommitStage::tick()
+{
+    unsigned budget = st_.cfg.commitWidth;
+    for (unsigned i = 0; i < st_.numThreads && budget > 0; ++i) {
+        const ThreadID tid = static_cast<ThreadID>(
+            (st_.commitBase + i) % st_.numThreads);
+        ThreadState &ts = st_.threads[tid];
+        while (budget > 0 && !ts.rob.empty()) {
+            DynInst *inst = ts.rob.front();
+            if (inst->stage != InstStage::Executed ||
+                inst->completeCycle > st_.cycle)
+                break;
+            smt_assert(!inst->wrongPath,
+                       "wrong-path instruction reached commit");
+
+            ++st_.stats.committedInstructions;
+            ++st_.stats.committedPerThread[tid];
+
+            const OpClass op = inst->si->op;
+            if (inst->si->isCondBranch()) {
+                ++st_.stats.condBranches;
+                if (inst->mispredicted)
+                    ++st_.stats.condBranchMispredicts;
+                st_.bp.resolveCondBranch(tid, inst->pc,
+                                         inst->historySnapshot,
+                                         inst->actualTaken,
+                                         inst->si->target);
+            } else if (op == OpClass::Return ||
+                       op == OpClass::IndirectJump) {
+                ++st_.stats.jumps;
+                if (inst->mispredicted)
+                    ++st_.stats.jumpMispredicts;
+            }
+
+            if (inst->si->dest.valid())
+                st_.file(inst->si->dest.file)
+                    .freeAtCommit(inst->destPrevPhys);
+
+            // The committed instructions of a thread must be exactly the
+            // oracle's correct-path stream, in order, gap-free.
+            smt_assert(inst->streamIdx == ts.nextCommitStreamIdx,
+                       "commit stream gap: expected %llu, got %llu",
+                       static_cast<unsigned long long>(
+                           ts.nextCommitStreamIdx),
+                       static_cast<unsigned long long>(inst->streamIdx));
+            ++ts.nextCommitStreamIdx;
+            ts.program->retireBefore(inst->streamIdx + 1);
+
+            ts.rob.pop_front();
+            st_.releaseInst(inst);
+            --budget;
+        }
+    }
+    st_.commitBase = (st_.commitBase + 1) % st_.numThreads;
+}
+
+} // namespace smt

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CommitStage: in-order per-thread retirement over a shared commit
+ * bandwidth, rotating the starting thread each cycle.
+ */
+
+#ifndef SMT_CORE_STAGES_COMMIT_HH
+#define SMT_CORE_STAGES_COMMIT_HH
+
+#include "core/pipeline_state.hh"
+
+namespace smt
+{
+
+/** Retirement stage. */
+class CommitStage
+{
+  public:
+    explicit CommitStage(PipelineState &st) : st_(st) {}
+
+    void tick();
+
+  private:
+    PipelineState &st_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_STAGES_COMMIT_HH

@@ -1,0 +1,72 @@
+#include "core/stages/decode.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace smt
+{
+
+void
+DecodeStage::tick()
+{
+    unsigned budget = st_.cfg.decodeWidth;
+    std::array<std::size_t, kMaxThreads> idx{};
+
+    while (budget > 0) {
+        DynInst *best = nullptr;
+        for (unsigned t = 0; t < st_.numThreads; ++t) {
+            ThreadState &ts = st_.threads[t];
+            // Skip past already-decoded entries waiting for rename;
+            // decode is in-order, so the next Fetched entry is eligible.
+            while (idx[t] < ts.frontEnd.size() &&
+                   ts.frontEnd[idx[t]]->stage != InstStage::Fetched)
+                ++idx[t];
+            if (idx[t] >= ts.frontEnd.size())
+                continue;
+            DynInst *cand = ts.frontEnd[idx[t]];
+            if (cand->fetchCycle >= st_.cycle)
+                continue;
+            if (best == nullptr || cand->seq < best->seq)
+                best = cand;
+        }
+        if (best == nullptr)
+            break;
+
+        ThreadState &ts = st_.threads[best->tid];
+        best->stage = InstStage::Decoded;
+        best->decodeCycle = st_.cycle;
+        ++idx[best->tid];
+        --budget;
+
+        // Misfetch detection: decode can compute direct targets, so a
+        // predicted-taken direct transfer whose target the BTB did not
+        // (or wrongly) supply redirects fetch here (2-cycle penalty).
+        const OpClass op = best->si->op;
+        const bool direct_taken =
+            (op == OpClass::Jump || op == OpClass::Call ||
+             (best->si->isCondBranch() && best->predTaken));
+        if (direct_taken) {
+            const Addr expected = best->si->target;
+            if (best->nextFetchPc != expected) {
+                ++st_.stats.misfetches;
+                st_.dropFrontEndYounger(ts, best);
+                st_.bp.misfetchRepair(best->tid, *best->si, best->pc,
+                                      best->historySnapshot,
+                                      best->predTaken,
+                                      best->rasCheckpoint);
+                best->nextFetchPc = expected;
+                ts.fetchPc = expected;
+                ts.fetchReadyAt = std::max(
+                    ts.fetchReadyAt,
+                    st_.cycle + 1 + (st_.cfg.itagEarlyLookup ? 1 : 0));
+                if (!best->wrongPath) {
+                    ts.nextStreamIdx = best->streamIdx + 1;
+                    ts.onWrongPath = false;
+                }
+            }
+            st_.bp.updateTarget(best->tid, best->pc, expected, false);
+        }
+    }
+}
+
+} // namespace smt

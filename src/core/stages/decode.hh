@@ -1,0 +1,30 @@
+/**
+ * @file
+ * DecodeStage: age-ordered shared decode bandwidth, including misfetch
+ * detection — decode computes direct targets and redirects fetch when
+ * the BTB supplied a wrong (or no) target (Section 2).
+ */
+
+#ifndef SMT_CORE_STAGES_DECODE_HH
+#define SMT_CORE_STAGES_DECODE_HH
+
+#include "core/pipeline_state.hh"
+
+namespace smt
+{
+
+/** Decode stage. */
+class DecodeStage
+{
+  public:
+    explicit DecodeStage(PipelineState &st) : st_(st) {}
+
+    void tick();
+
+  private:
+    PipelineState &st_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_STAGES_DECODE_HH

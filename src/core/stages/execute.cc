@@ -1,0 +1,183 @@
+#include "core/stages/execute.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "isa/latency.hh"
+
+namespace smt
+{
+
+void
+ExecuteStage::tick()
+{
+    auto it = st_.execAt.find(st_.cycle);
+    if (it == st_.execAt.end())
+        return;
+    // Move the bucket out: execution never schedules into the current
+    // cycle, so this container is stable while we work through it.
+    std::vector<DynInst *> bucket = std::move(it->second);
+    st_.execAt.erase(it);
+    for (DynInst *inst : bucket)
+        executeInst(inst);
+}
+
+void
+ExecuteStage::executeInst(DynInst *inst)
+{
+    smt_assert(inst->stage == InstStage::Issued);
+    std::erase(st_.inFlight, inst);
+
+    if (inst->isLoad()) {
+        executeLoad(inst);
+        return;
+    }
+    if (inst->isStore()) {
+        executeStore(inst);
+        return;
+    }
+
+    inst->stage = InstStage::Executed;
+    const unsigned lat = opLatency(inst->si->op);
+    inst->completeCycle =
+        st_.cycle + (lat > 0 ? lat - 1 : 0) + st_.commitDelta;
+
+    if (inst->isControl())
+        resolveControl(inst);
+}
+
+void
+ExecuteStage::executeLoad(DynInst *inst)
+{
+    const auto r =
+        st_.mem.dataAccess(inst->tid, inst->memAddr, false, st_.cycle);
+    RegisterFileState &rf = st_.file(inst->si->dest.file);
+    const PhysRegIndex dest = inst->destPhys;
+
+    if (r.bankConflict) {
+        // Retry from the queue; consumers issued on the optimistic
+        // wakeup are squashed.
+        inst->stage = InstStage::InQueue;
+        inst->iqReleaseCycle = kCycleNever;
+        ++st_.threads[inst->tid].frontAndQueueCount;
+        rf.setReadyAt(dest, kCycleNever);
+        rf.setUnverifiedUntil(dest, 0);
+        requeueDependents(inst->si->dest.file, dest);
+        return;
+    }
+
+    inst->stage = InstStage::Executed;
+    if (r.ready <= st_.cycle) {
+        // D-cache hit: the optimistic wakeup (issue + 1) was correct.
+        inst->completeCycle = st_.cycle + st_.commitDelta;
+    } else {
+        // Miss: push the consumers' issue horizon out to the fill.
+        const Cycle consumer_issue =
+            std::max<Cycle>(r.ready + 1 > st_.execOffset
+                                ? r.ready + 1 - st_.execOffset
+                                : st_.cycle + 1,
+                            st_.cycle + 1);
+        rf.setReadyAt(dest, consumer_issue);
+        rf.setUnverifiedUntil(dest, 0);
+        requeueDependents(inst->si->dest.file, dest);
+        inst->completeCycle = r.ready + st_.commitDelta;
+    }
+}
+
+void
+ExecuteStage::executeStore(DynInst *inst)
+{
+    const auto r =
+        st_.mem.dataAccess(inst->tid, inst->memAddr, true, st_.cycle);
+    if (r.bankConflict) {
+        inst->stage = InstStage::InQueue;
+        inst->iqReleaseCycle = kCycleNever;
+        ++st_.threads[inst->tid].frontAndQueueCount;
+        return;
+    }
+    inst->stage = InstStage::Executed;
+    // The write-allocate fill (on a miss) completes in the background;
+    // the store itself retires without waiting on it.
+    inst->completeCycle = st_.cycle + st_.commitDelta;
+    std::erase(st_.threads[inst->tid].pendingStores, inst);
+}
+
+void
+ExecuteStage::resolveControl(DynInst *inst)
+{
+    if (inst->wrongPath) {
+        // Wrong-path control resolves as predicted; the originating
+        // misprediction's squash will remove it.
+        return;
+    }
+
+    const OpClass op = inst->si->op;
+    bool mispredict = false;
+    if (inst->si->isCondBranch()) {
+        mispredict = inst->predTaken != inst->actualTaken;
+    } else if (op == OpClass::Return || op == OpClass::IndirectJump) {
+        mispredict = inst->nextFetchPc != inst->actualNextPc;
+        st_.bp.updateTarget(inst->tid, inst->pc, inst->actualNextPc,
+                            op == OpClass::Return);
+    }
+
+    if (mispredict) {
+        inst->mispredicted = true;
+        ThreadState &ts = st_.threads[inst->tid];
+        if (ts.pendingSquash == nullptr ||
+            inst->seq < ts.pendingSquash->seq) {
+            ts.pendingSquash = inst;
+            ts.pendingSquashCycle = st_.cycle + 1;
+        }
+    }
+}
+
+void
+ExecuteStage::requeueDependents(RegFile f, PhysRegIndex reg)
+{
+    // Work-list cascade: any issued-but-unexecuted instruction whose
+    // source is no longer ready by its issue cycle was issued on a stale
+    // optimistic wakeup and returns to its queue (a wasted issue slot —
+    // the "squashed optimistic instruction" of Section 6).
+    std::vector<std::pair<RegFile, PhysRegIndex>> work{{f, reg}};
+    while (!work.empty()) {
+        const auto [wf, wreg] = work.back();
+        work.pop_back();
+        RegisterFileState &rf = st_.file(wf);
+        for (std::size_t i = 0; i < st_.inFlight.size();) {
+            DynInst *inst = st_.inFlight[i];
+            const bool dep1 = inst->si->src1.valid() &&
+                              inst->si->src1.file == wf &&
+                              inst->src1Phys == wreg;
+            const bool dep2 = inst->si->src2.valid() &&
+                              inst->si->src2.file == wf &&
+                              inst->src2Phys == wreg;
+            if ((!dep1 && !dep2) ||
+                rf.readyAt(wreg) <= inst->issueCycle) {
+                ++i;
+                continue;
+            }
+            // Squash this issue: back to the queue.
+            ++st_.stats.optimisticSquashes;
+            st_.inFlight[i] = st_.inFlight.back();
+            st_.inFlight.pop_back();
+            auto bucket = st_.execAt.find(inst->issueCycle + st_.execOffset);
+            smt_assert(bucket != st_.execAt.end());
+            std::erase(bucket->second, inst);
+            inst->stage = InstStage::InQueue;
+            inst->iqReleaseCycle = kCycleNever;
+            ++st_.threads[inst->tid].frontAndQueueCount;
+            if (inst->isControl())
+                ++st_.threads[inst->tid].branchCount;
+            if (inst->si->dest.valid()) {
+                RegisterFileState &drf = st_.file(inst->si->dest.file);
+                drf.setReadyAt(inst->destPhys, kCycleNever);
+                drf.setUnverifiedUntil(inst->destPhys, 0);
+                work.emplace_back(inst->si->dest.file, inst->destPhys);
+            }
+        }
+    }
+}
+
+} // namespace smt

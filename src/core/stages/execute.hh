@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ExecuteStage: drains the execute bucket for the current cycle —
+ * memory access, control resolution, and repair of optimistic issues
+ * whose load turned out to miss (Section 6).
+ */
+
+#ifndef SMT_CORE_STAGES_EXECUTE_HH
+#define SMT_CORE_STAGES_EXECUTE_HH
+
+#include "core/pipeline_state.hh"
+
+namespace smt
+{
+
+/** Execution stage. */
+class ExecuteStage
+{
+  public:
+    explicit ExecuteStage(PipelineState &st) : st_(st) {}
+
+    void tick();
+
+  private:
+    void executeInst(DynInst *inst);
+    void executeLoad(DynInst *inst);
+    void executeStore(DynInst *inst);
+    void resolveControl(DynInst *inst);
+    /** Squash issued-but-unexecuted consumers of a register whose ready
+     *  time just moved later (optimistic-issue repair; cascades). */
+    void requeueDependents(RegFile file, PhysRegIndex reg);
+
+    PipelineState &st_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_STAGES_EXECUTE_HH

@@ -1,0 +1,189 @@
+#include "core/stages/fetch.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+void
+FetchStage::selectFetchThreads(std::vector<ThreadID> &out)
+{
+    struct Cand
+    {
+        double key;
+        unsigned rr;
+        ThreadID tid;
+    };
+    std::vector<Cand> cands;
+    cands.reserve(st_.numThreads);
+
+    policy_.beginCycle(st_);
+
+    for (unsigned t = 0; t < st_.numThreads; ++t) {
+        const ThreadID tid = static_cast<ThreadID>(t);
+        ThreadState &ts = st_.threads[t];
+        if (ts.fetchReadyAt > st_.cycle)
+            continue;
+        if (ts.frontEnd.size() + st_.cfg.fetchPerThread > st_.frontEndCap) {
+            ++st_.stats.fetchBlockedIQFull;
+            continue;
+        }
+        if (ts.program->image().at(ts.fetchPc) == nullptr)
+            continue; // bogus predicted target; awaiting resolution.
+        if (st_.cfg.itagEarlyLookup &&
+            !st_.mem.icacheWouldHit(ts.fetchPc)) {
+            // ITAG: the probe happened a cycle early, so the miss can
+            // start now while another thread takes the fetch slot.
+            const auto r = st_.mem.fetchAccess(tid, ts.fetchPc, st_.cycle);
+            if (!r.bankConflict && r.ready > st_.cycle)
+                ts.fetchReadyAt = r.ready;
+            continue;
+        }
+        const unsigned rr =
+            (t + st_.numThreads - st_.rrBase) % st_.numThreads;
+        cands.push_back({policy_.priorityKey(st_, tid), rr, tid});
+    }
+
+    std::sort(cands.begin(), cands.end(), [](const Cand &a, const Cand &b) {
+        if (a.key != b.key)
+            return a.key < b.key;
+        return a.rr < b.rr;
+    });
+
+    // Take up to fetchThreads threads, skipping I-cache bank conflicts
+    // against already chosen ones.
+    std::vector<unsigned> banks;
+    for (const Cand &c : cands) {
+        if (out.size() >= st_.cfg.fetchThreads)
+            break;
+        const unsigned bank =
+            st_.mem.icacheBank(st_.threads[c.tid].fetchPc);
+        if (std::find(banks.begin(), banks.end(), bank) != banks.end())
+            continue;
+        banks.push_back(bank);
+        out.push_back(c.tid);
+    }
+}
+
+DynInst *
+FetchStage::buildInst(ThreadState &ts, ThreadID tid, Addr pc)
+{
+    const StaticInst *si = ts.program->image().at(pc);
+    smt_assert(si != nullptr);
+
+    DynInst *inst = st_.pool.alloc();
+    inst->seq = st_.nextSeq++;
+    inst->tid = tid;
+    inst->pc = pc;
+    inst->si = si;
+    inst->fetchCycle = st_.cycle;
+
+    if (!ts.onWrongPath) {
+        const OracleEntry &e = ts.program->entryAt(ts.nextStreamIdx);
+        if (e.pc == pc) {
+            inst->streamIdx = ts.nextStreamIdx++;
+            inst->actualTaken = e.taken;
+            inst->actualNextPc = e.nextPc;
+            inst->memAddr = e.memAddr;
+        } else {
+            ts.onWrongPath = true;
+        }
+    }
+    if (inst->streamIdx == kNoStreamIdx) {
+        inst->wrongPath = true;
+        if (si->isMemory())
+            inst->memAddr =
+                ts.program->image().wrongPathMemAddr(*si, inst->seq);
+    }
+    return inst;
+}
+
+unsigned
+FetchStage::fetchFromThread(ThreadID tid, unsigned max_insts)
+{
+    ThreadState &ts = st_.threads[tid];
+    Addr pc = ts.fetchPc;
+    // The fetch block: up to the end of the aligned 8-instruction
+    // (32-byte) group the PC falls in — the output-bus granularity.
+    const Addr block_end = (pc & ~Addr{31}) + 32;
+    unsigned fetched = 0;
+
+    while (fetched < max_insts && pc < block_end) {
+        const StaticInst *si = ts.program->image().at(pc);
+        if (si == nullptr)
+            break;
+        DynInst *inst = buildInst(ts, tid, pc);
+        bool stop = false;
+
+        if (si->isControl()) {
+            const FetchPrediction fp =
+                st_.bp.predict(tid, pc, *si, inst->actualTaken,
+                               inst->actualNextPc);
+            inst->predTaken = fp.predTaken;
+            inst->historySnapshot = fp.historySnapshot;
+            inst->rasCheckpoint = fp.rasCheckpoint;
+            Addr next = pc + kInstBytes;
+            if (fp.predTaken && fp.predTarget != kNoAddr)
+                next = fp.predTarget;
+            inst->nextFetchPc = next;
+            if (inst->wrongPath) {
+                // Wrong-path control resolves as it predicted.
+                inst->actualTaken = fp.predTaken;
+                inst->actualNextPc = next;
+            }
+            pc = next;
+            stop = fp.predTaken; // no fetching past a taken branch.
+        } else {
+            inst->nextFetchPc = pc + kInstBytes;
+            pc += kInstBytes;
+        }
+
+        ts.frontEnd.push_back(inst);
+        ++ts.frontAndQueueCount;
+        if (inst->isControl())
+            ++ts.branchCount;
+        ++st_.stats.fetchedInstructions;
+        if (inst->wrongPath)
+            ++st_.stats.fetchedWrongPath;
+        ++fetched;
+        if (stop)
+            break;
+    }
+
+    ts.fetchPc = pc;
+    return fetched;
+}
+
+void
+FetchStage::tick()
+{
+    std::vector<ThreadID> selected;
+    selectFetchThreads(selected);
+
+    unsigned total = 0;
+    for (ThreadID tid : selected) {
+        if (total >= st_.cfg.fetchWidth)
+            break;
+        ThreadState &ts = st_.threads[tid];
+        const unsigned budget =
+            std::min(st_.cfg.fetchPerThread, st_.cfg.fetchWidth - total);
+
+        const auto r = st_.mem.fetchAccess(tid, ts.fetchPc, st_.cycle);
+        if (r.bankConflict)
+            continue; // lost the bank to fill traffic this cycle.
+        if (r.ready > st_.cycle) {
+            // I-cache (or ITLB) miss: the thread stalls while it fills.
+            ts.fetchReadyAt = r.ready;
+            continue;
+        }
+        total += fetchFromThread(tid, budget);
+    }
+
+    st_.rrBase = (st_.rrBase + 1) % st_.numThreads;
+    if (total == 0)
+        ++st_.stats.fetchCyclesIdle;
+}
+
+} // namespace smt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * FetchStage: per-cycle thread selection (delegated to the configured
+ * FetchPolicy) and instruction fetch from the selected threads'
+ * code images (Sections 4 and 5).
+ */
+
+#ifndef SMT_CORE_STAGES_FETCH_HH
+#define SMT_CORE_STAGES_FETCH_HH
+
+#include <vector>
+
+#include "core/pipeline_state.hh"
+#include "policy/fetch_policy.hh"
+
+namespace smt
+{
+
+/** Fetch stage. */
+class FetchStage
+{
+  public:
+    FetchStage(PipelineState &st, policy::FetchPolicy &pol)
+        : st_(st), policy_(pol)
+    {
+    }
+
+    void tick();
+
+  private:
+    /** Priority-ordered candidate thread list for this cycle. */
+    void selectFetchThreads(std::vector<ThreadID> &out);
+    unsigned fetchFromThread(ThreadID tid, unsigned max_insts);
+    DynInst *buildInst(ThreadState &ts, ThreadID tid, Addr pc);
+
+    PipelineState &st_;
+    policy::FetchPolicy &policy_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_STAGES_FETCH_HH

@@ -1,0 +1,168 @@
+#include "core/stages/issue.hh"
+
+#include <algorithm>
+
+#include "isa/latency.hh"
+
+namespace smt
+{
+
+bool
+IssueStage::issueAllowedBySpeculationMode(const DynInst *inst) const
+{
+    if (st_.cfg.speculation == SpeculationMode::Full)
+        return true;
+    const ThreadState &ts = st_.threads[inst->tid];
+    for (const DynInst *br : ts.unresolvedBranches) {
+        if (br->seq >= inst->seq)
+            continue;
+        if (st_.cfg.speculation == SpeculationMode::NoPassBranch) {
+            if (br->stage != InstStage::Executed)
+                return false;
+        } else { // NoWrongPathIssue
+            if (br->stage == InstStage::InQueue ||
+                br->stage == InstStage::Fetched ||
+                br->stage == InstStage::Decoded)
+                return false;
+            if (st_.cycle < br->issueCycle + 4)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+IssueStage::loadDisambiguated(const DynInst *inst) const
+{
+    const Addr mask = (Addr{1} << st_.cfg.disambiguationBits) - 1;
+    for (const DynInst *st : st_.threads[inst->tid].pendingStores) {
+        if (st->seq < inst->seq && st->stage != InstStage::Executed &&
+            (st->memAddr & mask) == (inst->memAddr & mask))
+            return false;
+    }
+    return true;
+}
+
+void
+IssueStage::collectCandidates(InstructionQueue &queue,
+                              std::vector<DynInst *> &out)
+{
+    // First release the entries whose hold time expired (issued
+    // instructions vacate a cycle after issue; optimistically issued
+    // ones once verified; loads once their access actually happened).
+    queue.removeIf([&](DynInst *i) {
+        return i->stage != InstStage::InQueue &&
+               i->iqReleaseCycle <= st_.cycle;
+    });
+
+    const std::size_t limit = queue.searchLimit();
+    for (std::size_t i = 0; i < limit; ++i) {
+        DynInst *inst = queue.at(i);
+        if (inst->stage != InstStage::InQueue)
+            continue;
+        if (inst->renameCycle >= st_.cycle)
+            continue; // entered the queue this cycle.
+        if (!issueAllowedBySpeculationMode(inst))
+            continue;
+        if (inst->isLoad() && !loadDisambiguated(inst))
+            continue;
+        out.push_back(inst);
+    }
+}
+
+void
+IssueStage::issueInst(DynInst *inst)
+{
+    ThreadState &ts = st_.threads[inst->tid];
+    inst->stage = InstStage::Issued;
+    inst->issueCycle = st_.cycle;
+    inst->optimistic = st_.isOptimisticNow(inst);
+
+    ++st_.stats.issuedInstructions;
+    if (inst->wrongPath)
+        ++st_.stats.issuedWrongPath;
+
+    Cycle release = st_.cycle + 1;
+    if (inst->si->dest.valid()) {
+        RegisterFileState &rf = st_.file(inst->si->dest.file);
+        if (inst->isLoad()) {
+            // Optimistic 1-cycle load-use wakeup; verified at execute.
+            rf.setReadyAt(inst->destPhys, st_.cycle + 1);
+            rf.setUnverifiedUntil(inst->destPhys,
+                                  st_.cycle + st_.execOffset);
+        } else {
+            rf.setReadyAt(inst->destPhys,
+                          st_.cycle + opLatency(inst->si->op));
+            // Propagate optimism downstream for OPT_LAST/statistics.
+            Cycle unv = 0;
+            if (inst->si->src1.valid())
+                unv = std::max(unv,
+                               st_.file(inst->si->src1.file)
+                                   .unverifiedUntil(inst->src1Phys));
+            if (inst->si->src2.valid())
+                unv = std::max(unv,
+                               st_.file(inst->si->src2.file)
+                                   .unverifiedUntil(inst->src2Phys));
+            rf.setUnverifiedUntil(inst->destPhys, unv);
+        }
+    }
+    if (inst->si->isMemory())
+        release = st_.cycle + st_.execOffset; // held until the access
+                                              // actually happens
+                                              // (bank-conflict retry).
+    else if (inst->optimistic)
+        release = st_.cycle + st_.execOffset; // held until sources
+                                              // verify.
+    inst->iqReleaseCycle = release;
+
+    st_.execAt[st_.cycle + st_.execOffset].push_back(inst);
+    st_.inFlight.push_back(inst);
+
+    --ts.frontAndQueueCount;
+    if (inst->isControl())
+        --ts.branchCount;
+}
+
+void
+IssueStage::tick()
+{
+    const unsigned big = 1u << 20;
+    unsigned int_units =
+        st_.cfg.infiniteFunctionalUnits ? big : st_.cfg.intUnits;
+    unsigned ls_units =
+        st_.cfg.infiniteFunctionalUnits ? big : st_.cfg.loadStoreUnits;
+    unsigned fp_units =
+        st_.cfg.infiniteFunctionalUnits ? big : st_.cfg.fpUnits;
+
+    std::vector<DynInst *> cands;
+    cands.reserve(64);
+
+    collectCandidates(st_.intQueue, cands);
+    policy_.order(st_, cands);
+    for (DynInst *inst : cands) {
+        if (int_units == 0)
+            break;
+        if (inst->si->isMemory() && ls_units == 0)
+            continue;
+        if (!st_.operandsReady(inst))
+            continue;
+        --int_units;
+        if (inst->si->isMemory())
+            --ls_units;
+        issueInst(inst);
+    }
+
+    cands.clear();
+    collectCandidates(st_.fpQueue, cands);
+    policy_.order(st_, cands);
+    for (DynInst *inst : cands) {
+        if (fp_units == 0)
+            break;
+        if (!st_.operandsReady(inst))
+            continue;
+        --fp_units;
+        issueInst(inst);
+    }
+}
+
+} // namespace smt

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * RenameDispatchStage: age-ordered shared rename bandwidth — maps
+ * logical to physical registers and dispatches into the instruction
+ * queues (Section 2.1).
+ */
+
+#ifndef SMT_CORE_STAGES_RENAME_DISPATCH_HH
+#define SMT_CORE_STAGES_RENAME_DISPATCH_HH
+
+#include "core/pipeline_state.hh"
+
+namespace smt
+{
+
+/** Register-rename and queue-dispatch stage. */
+class RenameDispatchStage
+{
+  public:
+    explicit RenameDispatchStage(PipelineState &st) : st_(st) {}
+
+    void tick();
+
+  private:
+    PipelineState &st_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_STAGES_RENAME_DISPATCH_HH

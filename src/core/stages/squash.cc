@@ -1,0 +1,94 @@
+#include "core/stages/squash.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smt
+{
+
+void
+SquashStage::tick()
+{
+    for (unsigned t = 0; t < st_.numThreads; ++t) {
+        ThreadState &ts = st_.threads[t];
+        if (ts.pendingSquash != nullptr &&
+            ts.pendingSquashCycle <= st_.cycle)
+        {
+            DynInst *branch = ts.pendingSquash;
+            ts.pendingSquash = nullptr;
+            squashThread(static_cast<ThreadID>(t), branch);
+        }
+    }
+}
+
+void
+SquashStage::squashThread(ThreadID tid, DynInst *branch)
+{
+    ThreadState &ts = st_.threads[tid];
+    smt_assert(!branch->wrongPath,
+               "wrong-path instructions never trigger squashes");
+
+    // Drop everything still in the front end (all younger than any
+    // renamed instruction of this thread).
+    while (!ts.frontEnd.empty()) {
+        DynInst *inst = ts.frontEnd.back();
+        ts.frontEnd.pop_back();
+        --ts.frontAndQueueCount;
+        if (inst->isControl())
+            --ts.branchCount;
+        st_.pool.release(inst);
+    }
+
+    // Unwind the ROB youngest-first down to (not including) the branch.
+    std::vector<DynInst *> squashed;
+    while (!ts.rob.empty() && ts.rob.back()->seq > branch->seq) {
+        DynInst *inst = ts.rob.back();
+        ts.rob.pop_back();
+        squashed.push_back(inst);
+
+        if (inst->si->dest.valid()) {
+            st_.file(inst->si->dest.file)
+                .rollback(tid, inst->si->dest.index, inst->destPhys,
+                          inst->destPrevPhys);
+        }
+        if (inst->stage == InstStage::InQueue)
+            --ts.frontAndQueueCount;
+        if (inst->stage == InstStage::InQueue && inst->isControl())
+            --ts.branchCount;
+    }
+
+    // Purge the squashed set from every secondary structure.
+    if (!squashed.empty()) {
+        auto is_squashed = [&](const DynInst *i) {
+            return i->tid == tid && i->seq > branch->seq;
+        };
+        st_.intQueue.removeIf(is_squashed);
+        st_.fpQueue.removeIf(is_squashed);
+        std::erase_if(st_.inFlight, is_squashed);
+        for (auto &[when, bucket] : st_.execAt) {
+            if (when >= st_.cycle)
+                std::erase_if(bucket, is_squashed);
+        }
+        std::erase_if(ts.unresolvedBranches, is_squashed);
+        std::erase_if(ts.pendingStores, is_squashed);
+        if (ts.pendingSquash != nullptr &&
+            ts.pendingSquash->seq > branch->seq)
+            ts.pendingSquash = nullptr;
+        for (DynInst *inst : squashed)
+            st_.pool.release(inst);
+    }
+
+    // Repair predictor state and restart fetch on the correct path.
+    st_.bp.squashRepair(tid, branch->historySnapshot, branch->actualTaken,
+                        branch->rasCheckpoint);
+    smt_assert(branch->streamIdx != kNoStreamIdx);
+    ts.nextStreamIdx = branch->streamIdx + 1;
+    ts.onWrongPath = false;
+    ts.fetchPc = branch->actualNextPc;
+    ts.fetchReadyAt = std::max(ts.fetchReadyAt,
+                               st_.cycle +
+                                   (st_.cfg.itagEarlyLookup ? 1 : 0));
+}
+
+} // namespace smt

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SquashStage: applies pending mispredict squashes at the top of the
+ * cycle, one cycle after the offending branch executed (Section 3).
+ */
+
+#ifndef SMT_CORE_STAGES_SQUASH_HH
+#define SMT_CORE_STAGES_SQUASH_HH
+
+#include "core/pipeline_state.hh"
+
+namespace smt
+{
+
+/** Mispredict-recovery stage. */
+class SquashStage
+{
+  public:
+    explicit SquashStage(PipelineState &st) : st_(st) {}
+
+    /** Apply every squash whose delay has elapsed. */
+    void tick();
+
+  private:
+    /** Full squash of everything younger than `branch` (mispredict). */
+    void squashThread(ThreadID tid, DynInst *branch);
+
+    PipelineState &st_;
+};
+
+} // namespace smt
+
+#endif // SMT_CORE_STAGES_SQUASH_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * IssuePolicy: the instruction-selection strategy of the issue stage
+ * (Section 6 of Tullsen et al., ISCA'96).
+ *
+ * The issue stage collects the issuable candidates from one instruction
+ * queue and asks the policy to order them; issue then walks the ordered
+ * list until the functional units are spent. The paper's policies —
+ * OLDEST_FIRST, OPT_LAST, SPEC_LAST, BRANCH_FIRST — are implemented
+ * here and registered by name in the PolicyRegistry.
+ */
+
+#ifndef SMT_POLICY_ISSUE_POLICY_HH
+#define SMT_POLICY_ISSUE_POLICY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt
+{
+
+struct DynInst;
+struct PipelineState;
+
+namespace policy
+{
+
+class PolicyRegistry;
+
+/** Candidate-ordering strategy consulted by the issue stage. */
+class IssuePolicy
+{
+  public:
+    virtual ~IssuePolicy() = default;
+
+    /** Registry name, e.g. "OLDEST_FIRST". */
+    virtual const char *name() const = 0;
+
+    /** Sort `cands` into issue-priority order (best candidate first). */
+    virtual void order(const PipelineState &st,
+                       std::vector<DynInst *> &cands) const = 0;
+};
+
+/** Install OLDEST_FIRST, OPT_LAST, SPEC_LAST, BRANCH_FIRST into
+ *  `reg`. */
+void registerBuiltinIssuePolicies(PolicyRegistry &reg);
+
+} // namespace policy
+} // namespace smt
+
+#endif // SMT_POLICY_ISSUE_POLICY_HH

@@ -180,8 +180,9 @@ TEST_P(SpeculationSweep, RestrictionCombinationsStaySound)
     sim.run(6000);
     sim.core().validateInvariants();
     EXPECT_GT(sim.stats().committedInstructions, 200u);
-    if (perfect)
+    if (perfect) {
         EXPECT_EQ(sim.stats().fetchedWrongPath, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -94,10 +94,12 @@ TEST_P(ImageTest, AnnotationsAreValid)
     for (std::size_t i = 0; i < image->numInsts(); ++i) {
         const StaticInst *si =
             image->at(image->codeBase() + i * kInstBytes);
-        if (si->isCondBranch())
+        if (si->isCondBranch()) {
             EXPECT_LT(si->annot, image->numBranchBehaviors());
-        if (si->isMemory())
+        }
+        if (si->isMemory()) {
             EXPECT_LT(si->annot, image->numMemBehaviors());
+        }
     }
 }
 
@@ -169,10 +171,11 @@ TEST(Oracle, StreamFollowsControlFlow)
         const OracleEntry &e = p.entryAt(i);
         const OracleEntry &next = p.entryAt(i + 1);
         ASSERT_EQ(next.pc, e.nextPc) << "discontinuity at index " << i;
-        if (!e.si->isControl())
+        if (!e.si->isControl()) {
             ASSERT_EQ(e.nextPc, e.pc + kInstBytes);
-        else if (!e.taken)
+        } else if (!e.taken) {
             ASSERT_EQ(e.nextPc, e.pc + kInstBytes);
+        }
     }
 }
 
