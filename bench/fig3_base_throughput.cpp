@@ -6,47 +6,14 @@
  * Paper reference points: superscalar ~2.1 IPC; SMT single-thread within
  * 2% of the superscalar; peak ~3.9 IPC (84% over the superscalar),
  * flattening before 8 threads.
+ *
+ * Grid and report live in the sweep engine (experiment "fig3").
  */
 
-#include <cstdio>
-
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-
-    const smt::ThreadSweep base = smt::sweepThreads(
-        "SMT RR.1.8", smt::paperThreadCounts(),
-        [](unsigned t) { return smt::presets::baseSmt(t); }, opts);
-
-    const smt::DataPoint superscalar =
-        smt::measure(smt::presets::unmodifiedSuperscalar(), opts);
-
-    smt::Table table("Figure 3: base hardware throughput (IPC)");
-    table.setHeader({"machine", "1T", "2T", "4T", "6T", "8T"});
-    {
-        std::vector<std::string> row = {"SMT RR.1.8"};
-        for (const smt::DataPoint &p : base.points)
-            row.push_back(smt::fmtDouble(p.ipc(), 2));
-        table.addRow(std::move(row));
-    }
-    table.addRow({"unmodified superscalar",
-                  smt::fmtDouble(superscalar.ipc(), 2), "-", "-", "-",
-                  "-"});
-    std::printf("%s\n", table.render().c_str());
-
-    const double ss = superscalar.ipc();
-    const double single = base.ipcAt(1);
-    const double peak = base.peakIpc();
-    std::printf("single-thread SMT vs superscalar: %+.1f%%  "
-                "(paper: less than -2%%)\n",
-                100.0 * (single / ss - 1.0));
-    std::printf("peak SMT speedup over superscalar: %.2fx  "
-                "(paper: 1.84x)\n", peak / ss);
-    smt::printPaperNote(
-        "Fig 3 shape: near-identical at 1 thread, rising throughput that "
-        "flattens before 8 threads, peak ~1.8x the superscalar");
-    return 0;
+    return smt::sweep::benchMain("fig3");
 }

@@ -7,55 +7,14 @@
  * 4 threads; RR.4.2 suffers thread shortage and never catches the
  * 2-thread schemes; RR.2.8 matches RR.1.8 at few threads and RR.2.4 at
  * many (~+10% peak).
+ *
+ * Grid and report live in the sweep engine (experiment "fig4").
  */
 
-#include <cstdio>
-
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-
-    struct Scheme
-    {
-        const char *label;
-        unsigned threads_per_cycle;
-        unsigned width;
-    };
-    const Scheme schemes[] = {
-        {"RR.1.8", 1, 8},
-        {"RR.2.4", 2, 4},
-        {"RR.4.2", 4, 2},
-        {"RR.2.8", 2, 8},
-    };
-
-    std::vector<smt::ThreadSweep> sweeps;
-    for (const Scheme &s : schemes) {
-        sweeps.push_back(smt::sweepThreads(
-            s.label, smt::paperThreadCounts(),
-            [&s](unsigned t) {
-                smt::SmtConfig cfg = smt::presets::baseSmt(t);
-                smt::presets::setFetchPartition(cfg, s.threads_per_cycle,
-                                                s.width);
-                return cfg;
-            },
-            opts));
-    }
-
-    smt::Table table =
-        smt::ipcTable("Figure 4: fetch partitioning (IPC)", sweeps);
-    std::printf("%s\n", table.render().c_str());
-
-    const double rr18 = sweeps[0].ipcAt(8);
-    std::printf("at 8 threads vs RR.1.8: RR.2.4 %+.1f%% (paper +9%%), "
-                "RR.4.2 %+.1f%%, RR.2.8 %+.1f%% (paper ~+10%%)\n",
-                100.0 * (sweeps[1].ipcAt(8) / rr18 - 1.0),
-                100.0 * (sweeps[2].ipcAt(8) / rr18 - 1.0),
-                100.0 * (sweeps[3].ipcAt(8) / rr18 - 1.0));
-    smt::printPaperNote(
-        "Fig 4 shape: partitioning helps at high thread counts; RR.4.2 "
-        "suffers thread shortage; RR.2.8 is best of both worlds");
-    return 0;
+    return smt::sweep::benchMain("fig4");
 }

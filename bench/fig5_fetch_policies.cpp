@@ -7,58 +7,16 @@
  * Paper shape: all heuristics beat RR; BRCOUNT and MISSCOUNT give
  * moderate gains only with many threads; ICOUNT wins everywhere (up to
  * +23% over the best RR result); IQPOSN tracks ICOUNT within 4%.
+ *
+ * The grid itself is declared in the sweep engine (src/sweep/
+ * experiments.cc, experiment "fig5"); this binary, and `smtsweep
+ * --experiment fig5`, both run and print it through the engine.
  */
 
-#include <cstdio>
-
-#include "policy/registry.hh"
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-    const std::vector<unsigned> counts = {2, 4, 6, 8};
-
-    // The paper's five policies, resolved by registry name (RR first:
-    // the sweeps below report gains relative to sweeps[0]).
-    const std::vector<std::string> policies = {
-        "RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN",
-    };
-
-    for (unsigned width_threads : {1u, 2u}) {
-        std::vector<smt::ThreadSweep> sweeps;
-        for (const std::string &p : policies) {
-            const std::string label =
-                p + "." + std::to_string(width_threads) + ".8";
-            sweeps.push_back(smt::sweepThreads(
-                label, counts,
-                [&](unsigned t) {
-                    smt::SmtConfig cfg = smt::presets::baseSmt(t);
-                    cfg.fetchPolicyName = p;
-                    smt::presets::setFetchPartition(cfg, width_threads, 8);
-                    return cfg;
-                },
-                opts));
-        }
-        smt::Table table = smt::ipcTable(
-            "Figure 5: fetch priority policies, " +
-                std::to_string(width_threads) + ".8 partitioning (IPC)",
-            sweeps);
-        std::printf("%s\n", table.render().c_str());
-
-        const double rr8 = sweeps[0].ipcAt(8);
-        for (std::size_t i = 1; i < sweeps.size(); ++i) {
-            std::printf("  %s vs RR at 8T: %+.1f%%\n",
-                        sweeps[i].label.c_str(),
-                        100.0 * (sweeps[i].ipcAt(8) / rr8 - 1.0));
-        }
-        std::printf("\n");
-    }
-
-    smt::printPaperNote(
-        "Fig 5 shape: ICOUNT best at every thread count (peak 5.3 IPC at "
-        "ICOUNT.2.8); IQPOSN within 4% of ICOUNT; BRCOUNT/MISSCOUNT help "
-        "mainly when saturated");
-    return 0;
+    return smt::sweep::benchMain("fig5");
 }

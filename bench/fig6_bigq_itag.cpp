@@ -7,60 +7,14 @@
  * Paper shape: BIGQ adds nothing (sometimes slightly negative) over
  * ICOUNT; ITAG helps up to ~8% on ICOUNT.1.8, <2% on ICOUNT.2.8, and
  * hurts at few threads (longer misprediction penalty).
+ *
+ * Grid and report live in the sweep engine (experiment "fig6").
  */
 
-#include <cstdio>
-
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-
-    for (unsigned fetch_threads : {1u, 2u}) {
-        const std::string suffix =
-            "." + std::to_string(fetch_threads) + ".8";
-
-        auto make = [&](unsigned t, bool bigq, bool itag) {
-            smt::SmtConfig cfg = smt::presets::baseSmt(t);
-            cfg.fetchPolicy = smt::FetchPolicy::ICount;
-            smt::presets::setFetchPartition(cfg, fetch_threads, 8);
-            if (bigq) {
-                cfg.intQueueEntries = 64;
-                cfg.fpQueueEntries = 64;
-                cfg.iqSearchWindow = 32;
-            }
-            cfg.itagEarlyLookup = itag;
-            return cfg;
-        };
-
-        std::vector<smt::ThreadSweep> sweeps;
-        sweeps.push_back(smt::sweepThreads(
-            "ICOUNT" + suffix, smt::paperThreadCounts(),
-            [&](unsigned t) { return make(t, false, false); }, opts));
-        sweeps.push_back(smt::sweepThreads(
-            "BIGQ,ICOUNT" + suffix, smt::paperThreadCounts(),
-            [&](unsigned t) { return make(t, true, false); }, opts));
-        sweeps.push_back(smt::sweepThreads(
-            "ITAG,ICOUNT" + suffix, smt::paperThreadCounts(),
-            [&](unsigned t) { return make(t, false, true); }, opts));
-
-        smt::Table table = smt::ipcTable(
-            "Figure 6: BIGQ and ITAG on ICOUNT" + suffix + " (IPC)",
-            sweeps);
-        std::printf("%s\n", table.render().c_str());
-
-        const double base8 = sweeps[0].ipcAt(8);
-        std::printf("  at 8T vs ICOUNT%s: BIGQ %+.1f%%, ITAG %+.1f%%\n\n",
-                    suffix.c_str(),
-                    100.0 * (sweeps[1].ipcAt(8) / base8 - 1.0),
-                    100.0 * (sweeps[2].ipcAt(8) / base8 - 1.0));
-    }
-
-    smt::printPaperNote(
-        "Fig 6 shape: BIGQ adds no significant improvement over ICOUNT; "
-        "ITAG helps at many threads (more on 1.8 than 2.8) and hurts at "
-        "few threads");
-    return 0;
+    return smt::sweep::benchMain("fig6");
 }

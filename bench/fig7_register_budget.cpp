@@ -5,41 +5,14 @@
  * contexts mean fewer renaming registers (200 - 32*T).
  *
  * Paper shape: rising curve with a clear maximum at 4 contexts.
+ *
+ * Grid and report live in the sweep engine (experiment "fig7").
  */
 
-#include <cstdio>
-
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-
-    smt::Table table(
-        "Figure 7: 200 physical registers per file, 1-5 contexts");
-    table.setHeader({"contexts", "excess regs", "IPC", "out-of-regs"});
-
-    unsigned best_t = 0;
-    double best_ipc = 0.0;
-    for (unsigned t = 1; t <= 5; ++t) {
-        smt::SmtConfig cfg = smt::presets::icount28(t);
-        cfg.totalPhysRegisters = 200;
-        const smt::DataPoint d = smt::measure(cfg, opts);
-        table.addRow({std::to_string(t), std::to_string(200 - 32 * t),
-                      smt::fmtDouble(d.ipc(), 2),
-                      smt::fmtPercent(d.stats.outOfRegistersFraction())});
-        if (d.ipc() > best_ipc) {
-            best_ipc = d.ipc();
-            best_t = t;
-        }
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("maximum at %u contexts (paper: clear maximum at 4)\n",
-                best_t);
-    smt::printPaperNote(
-        "Fig 7 shape: throughput rises with contexts until the renaming "
-        "register shortage bites; peak at 4 contexts with 200 registers");
-    return 0;
+    return smt::sweep::benchMain("fig7");
 }

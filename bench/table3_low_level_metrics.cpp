@@ -3,98 +3,14 @@
  * Table 3: low-level metrics of the base architecture (RR.1.8) at 1, 4,
  * and 8 threads — cache/TLB miss rates, mispredict rates, IQ-full
  * fractions, queue population, wrong-path fractions, out-of-registers.
+ *
+ * Grid and report live in the sweep engine (experiment "table3").
  */
 
-#include <cstdio>
-
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-
-    const std::vector<unsigned> counts = {1, 4, 8};
-    std::vector<smt::DataPoint> points;
-    for (unsigned t : counts)
-        points.push_back(smt::measure(smt::presets::baseSmt(t), opts));
-
-    smt::Table table("Table 3: base architecture low-level metrics");
-    table.setHeader({"metric", "1T", "4T", "8T", "paper 1T/4T/8T"});
-
-    auto row = [&](const char *name, auto metric, const char *paper) {
-        std::vector<std::string> r = {name};
-        for (const smt::DataPoint &p : points)
-            r.push_back(metric(p.stats));
-        r.push_back(paper);
-        table.addRow(std::move(r));
-    };
-
-    using smt::fmtDouble;
-    using smt::fmtPercent;
-    using smt::SimStats;
-
-    row("out-of-registers (% cycles)",
-        [](const SimStats &s) {
-            return fmtPercent(s.outOfRegistersFraction());
-        },
-        "3% / 7% / 3%");
-    row("I-cache miss rate",
-        [](const SimStats &s) { return fmtPercent(s.icache.missRate()); },
-        "2.5% / 7.8% / 14.1%");
-    row("I-cache MPKI",
-        [](const SimStats &s) {
-            return fmtDouble(s.icache.mpki(s.committedInstructions), 1);
-        },
-        "6 / 17 / 29");
-    row("D-cache miss rate",
-        [](const SimStats &s) { return fmtPercent(s.dcache.missRate()); },
-        "3.1% / 6.5% / 11.3%");
-    row("D-cache MPKI",
-        [](const SimStats &s) {
-            return fmtDouble(s.dcache.mpki(s.committedInstructions), 1);
-        },
-        "12 / 25 / 43");
-    row("L2 miss rate",
-        [](const SimStats &s) { return fmtPercent(s.l2.missRate()); },
-        "17.6% / 15.0% / 12.5%");
-    row("L3 miss rate",
-        [](const SimStats &s) { return fmtPercent(s.l3.missRate()); },
-        "55.1% / 33.6% / 45.4%");
-    row("branch mispredict rate",
-        [](const SimStats &s) {
-            return fmtPercent(s.branchMispredictRate());
-        },
-        "5.0% / 7.4% / 9.1%");
-    row("jump mispredict rate",
-        [](const SimStats &s) { return fmtPercent(s.jumpMispredictRate()); },
-        "2.2% / 6.4% / 12.9%");
-    row("integer IQ-full (% cycles)",
-        [](const SimStats &s) { return fmtPercent(s.intIQFullFraction()); },
-        "7% / 10% / 9%");
-    row("fp IQ-full (% cycles)",
-        [](const SimStats &s) { return fmtPercent(s.fpIQFullFraction()); },
-        "14% / 9% / 3%");
-    row("avg queue population",
-        [](const SimStats &s) { return fmtDouble(s.avgQueuePopulation(), 1); },
-        "25 / 25 / 27");
-    row("wrong-path fetched",
-        [](const SimStats &s) {
-            return fmtPercent(s.wrongPathFetchedFraction());
-        },
-        "24% / 7% / 7%");
-    row("wrong-path issued",
-        [](const SimStats &s) {
-            return fmtPercent(s.wrongPathIssuedFraction());
-        },
-        "9% / 4% / 3%");
-    row("IPC (context)",
-        [](const SimStats &s) { return fmtDouble(s.ipc(), 2); },
-        "~2.1 / ~3.5 / ~3.9");
-
-    std::printf("%s\n", table.render().c_str());
-    smt::printPaperNote(
-        "Table 3 shape: cache and predictor pressure grow with threads; "
-        "wrong-path fractions shrink; queues stay well-populated");
-    return 0;
+    return smt::sweep::benchMain("table3");
 }

@@ -6,67 +6,14 @@
  *
  * Paper: RR.2.8@8T -> 18%/8% IQ-full, 38 avg population, 8% out-of-regs;
  * ICOUNT.2.8@8T -> 6%/1%, 30, 5%; 1 thread -> 7%/14%, 25, 3%.
+ *
+ * Grid and report live in the sweep engine (experiment "table4").
  */
 
-#include <cstdio>
-
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-
-    smt::SmtConfig one = smt::presets::baseSmt(1);
-    smt::presets::setFetchPartition(one, 2, 8);
-
-    smt::SmtConfig rr8 = smt::presets::baseSmt(8);
-    smt::presets::setFetchPartition(rr8, 2, 8);
-
-    const smt::SmtConfig icount8 = smt::presets::icount28(8);
-
-    const smt::DataPoint p1 = smt::measure(one, opts);
-    const smt::DataPoint prr = smt::measure(rr8, opts);
-    const smt::DataPoint pic = smt::measure(icount8, opts);
-
-    smt::Table table(
-        "Table 4: RR vs ICOUNT low-level metrics (2.8 partitioning)");
-    table.setHeader({"metric", "1 thread", "RR @8T", "ICOUNT @8T",
-                     "paper (1T / RR8 / IC8)"});
-
-    auto row = [&](const char *name, auto metric, const char *paper) {
-        table.addRow({name, metric(p1.stats), metric(prr.stats),
-                      metric(pic.stats), paper});
-    };
-
-    row("integer IQ-full (% cycles)",
-        [](const smt::SimStats &s) {
-            return smt::fmtPercent(s.intIQFullFraction());
-        },
-        "7% / 18% / 6%");
-    row("fp IQ-full (% cycles)",
-        [](const smt::SimStats &s) {
-            return smt::fmtPercent(s.fpIQFullFraction());
-        },
-        "14% / 8% / 1%");
-    row("avg queue population",
-        [](const smt::SimStats &s) {
-            return smt::fmtDouble(s.avgQueuePopulation(), 1);
-        },
-        "25 / 38 / 30");
-    row("out-of-registers (% cycles)",
-        [](const smt::SimStats &s) {
-            return smt::fmtPercent(s.outOfRegistersFraction());
-        },
-        "3% / 8% / 5%");
-    row("IPC",
-        [](const smt::SimStats &s) { return smt::fmtDouble(s.ipc(), 2); },
-        "- / 4.2 / 5.3");
-
-    std::printf("%s\n", table.render().c_str());
-    smt::printPaperNote(
-        "Table 4 shape: ICOUNT sharply reduces IQ-full conditions and "
-        "queue population relative to RR at 8 threads — less pressure "
-        "with 8 threads than with 1");
-    return 0;
+    return smt::sweep::benchMain("table4");
 }

@@ -8,48 +8,14 @@
  * Paper: all policies within a hair (5.28-5.29 at 8T); useless issue =
  * 4% wrong-path + 3% optimistic for OLDEST; OPT_LAST trims optimistic
  * waste to 2%; BRANCH_FIRST inflates it to 6%.
+ *
+ * Grid and report live in the sweep engine (experiment "table5").
  */
 
-#include <cstdio>
-
-#include "policy/registry.hh"
-#include "sim/experiment.hh"
+#include "sweep/experiments.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
-    const std::vector<unsigned> counts = {1, 2, 4, 6, 8};
-
-    // The paper's four policies, resolved by registry name.
-    const std::vector<std::string> policies = {
-        "OLDEST_FIRST", "OPT_LAST", "SPEC_LAST", "BRANCH_FIRST",
-    };
-
-    smt::Table table("Table 5: issue priority schemes (ICOUNT.2.8)");
-    table.setHeader({"policy", "1T", "2T", "4T", "6T", "8T",
-                     "wrong-path", "optimistic"});
-
-    for (const std::string &p : policies) {
-        std::vector<std::string> row = {p};
-        smt::DataPoint last;
-        for (unsigned t : counts) {
-            smt::SmtConfig cfg = smt::presets::icount28(t);
-            cfg.issuePolicyName = p;
-            last = smt::measure(cfg, opts);
-            row.push_back(smt::fmtDouble(last.ipc(), 2));
-        }
-        row.push_back(
-            smt::fmtPercent(last.stats.wrongPathIssuedFraction()));
-        row.push_back(
-            smt::fmtPercent(last.stats.optimisticSquashFraction()));
-        table.addRow(std::move(row));
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    smt::printPaperNote(
-        "Table 5 shape: issue bandwidth is not a bottleneck — all four "
-        "policies produce nearly identical throughput; useless issue "
-        "stays in single digits (paper: 4% wrong-path + 3% optimistic)");
-    return 0;
+    return smt::sweep::benchMain("table5");
 }

@@ -65,6 +65,22 @@ class Histogram
         samples_ = 0;
     }
 
+    /**
+     * Overwrite the full state (bucket counts, raw sum, sample count).
+     * Used by the sweep result cache to restore a histogram exactly:
+     * replaying sample() per bucket would lose the true values of
+     * samples that were clamped into the top bucket.
+     */
+    void
+    restore(std::vector<std::uint64_t> counts, std::uint64_t sum,
+            std::uint64_t samples)
+    {
+        smt_assert(!counts.empty());
+        counts_ = std::move(counts);
+        sum_ = sum;
+        samples_ = samples;
+    }
+
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t sum_ = 0;

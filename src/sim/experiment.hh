@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "sim/mix_runner.hh"
 #include "stats/table.hh"
 
@@ -31,7 +32,9 @@ struct ThreadSweep
         for (std::size_t i = 0; i < threads.size(); ++i)
             if (threads[i] == t)
                 return points[i].ipc();
-        return 0.0;
+        // A typo'd thread count must not fabricate a 0-IPC data point.
+        smt_fatal("sweep \"%s\" has no %u-thread data point",
+                  label.c_str(), t);
     }
 
     double

@@ -6,16 +6,14 @@
 
 #include "common/logging.hh"
 #include "sim/simulator.hh"
+#include "sweep/thread_pool.hh"
 #include "workload/mix.hh"
 
 namespace smt
 {
 
-namespace
-{
-
 SimStats
-oneRun(const SmtConfig &cfg, unsigned run, const MeasureOptions &opts)
+measureRun(const SmtConfig &cfg, unsigned run, const MeasureOptions &opts)
 {
     Simulator sim(cfg, mixForRun(cfg.numThreads, run),
                   /*seed_salt=*/mix64(run + 1));
@@ -23,8 +21,6 @@ oneRun(const SmtConfig &cfg, unsigned run, const MeasureOptions &opts)
         sim.warmup(opts.warmupCycles);
     return sim.run(opts.cyclesPerRun);
 }
-
-} // namespace
 
 DataPoint
 measure(const SmtConfig &cfg, const MeasureOptions &opts)
@@ -34,18 +30,21 @@ measure(const SmtConfig &cfg, const MeasureOptions &opts)
 
     if (!opts.parallel || opts.runs == 1) {
         for (unsigned r = 0; r < opts.runs; ++r)
-            point.stats.add(oneRun(cfg, r, opts));
+            point.stats.add(measureRun(cfg, r, opts));
         return point;
     }
 
+    // Rotation runs ride the shared pool; aggregation stays in run
+    // order, so parallel and serial measurements are bit-identical.
+    sweep::ThreadPool &pool = sweep::ThreadPool::global();
     std::vector<std::future<SimStats>> futures;
     futures.reserve(opts.runs);
     for (unsigned r = 0; r < opts.runs; ++r) {
-        futures.push_back(std::async(std::launch::async, oneRun, cfg, r,
-                                     opts));
+        futures.push_back(
+            pool.submit([&cfg, r, &opts] { return measureRun(cfg, r, opts); }));
     }
     for (auto &f : futures)
-        point.stats.add(f.get());
+        point.stats.add(pool.wait(std::move(f)));
     return point;
 }
 
@@ -57,6 +56,14 @@ defaultMeasureOptions()
         opts.cyclesPerRun = std::strtoull(env, nullptr, 10);
     if (const char *env = std::getenv("SMTSIM_WARMUP"); env != nullptr)
         opts.warmupCycles = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("SMTSIM_RUNS"); env != nullptr) {
+        const unsigned runs =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (runs >= 1)
+            opts.runs = runs;
+        else
+            smt_warn("ignoring SMTSIM_RUNS=%s", env);
+    }
     if (std::getenv("SMTSIM_SERIAL") != nullptr)
         opts.parallel = false;
     return opts;

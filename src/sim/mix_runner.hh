@@ -34,11 +34,23 @@ struct MeasureOptions
     bool parallel = true;               ///< use worker threads.
 };
 
-/** Measure one configuration (cfg.numThreads defines the mix width). */
+/**
+ * Measure one configuration (cfg.numThreads defines the mix width).
+ * Parallel measurements schedule their rotation runs on the shared
+ * sweep::ThreadPool.
+ */
 DataPoint measure(const SmtConfig &cfg, const MeasureOptions &opts);
 
-/** Options honouring the SMTSIM_CYCLES / SMTSIM_WARMUP / SMTSIM_SERIAL
- *  environment overrides used by the bench harness. */
+/**
+ * Simulate one rotation run of a data point (run r of opts.runs).
+ * The unit of work the sweep engine schedules; measure() aggregates
+ * runs 0..opts.runs-1 in run order.
+ */
+SimStats measureRun(const SmtConfig &cfg, unsigned run,
+                    const MeasureOptions &opts);
+
+/** Options honouring the SMTSIM_CYCLES / SMTSIM_WARMUP / SMTSIM_RUNS /
+ *  SMTSIM_SERIAL environment overrides used by the bench harness. */
 MeasureOptions defaultMeasureOptions();
 
 } // namespace smt

@@ -1,0 +1,56 @@
+#include "sweep/digest.hh"
+
+#include <cstdio>
+
+#include "sweep/serialize.hh"
+
+namespace smt::sweep
+{
+
+namespace
+{
+
+std::uint64_t
+fnv1a64(const std::string &bytes, std::uint64_t basis)
+{
+    std::uint64_t h = basis;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull; // FNV prime.
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+digestHex(const std::string &bytes)
+{
+    // Two independently seeded FNV-1a streams give a 128-bit digest;
+    // ample for cache keying (no adversarial inputs here).
+    const std::uint64_t lo = fnv1a64(bytes, 0xcbf29ce484222325ull);
+    const std::uint64_t hi = fnv1a64(bytes, lo ^ 0x9e3779b97f4a7c15ull);
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+Json
+measurementKey(const SmtConfig &cfg, const MeasureOptions &opts)
+{
+    Json key = Json::object();
+    key.set("schema", Json(kDigestSchema));
+    key.set("config", toJson(cfg));
+    key.set("options", toJson(opts));
+    return key;
+}
+
+std::string
+measurementDigest(const SmtConfig &cfg, const MeasureOptions &opts)
+{
+    return digestHex(measurementKey(cfg, opts).dump());
+}
+
+} // namespace smt::sweep

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Content digests for measurements.
+ *
+ * A measurement is fully determined by (SmtConfig, MeasureOptions,
+ * seed): workloads are synthesized from the config's seed and the
+ * per-run salt, so two measurements with equal digests produce
+ * bit-identical statistics. The digest keys the on-disk result cache
+ * and names sweep artifacts. It is computed over the canonical
+ * (compact, fixed-field-order) JSON form of the key, so it is stable
+ * across processes, platforms, and unrelated code changes; bump
+ * kDigestSchema when the simulator's behaviour changes in a way that
+ * invalidates old cached results.
+ */
+
+#ifndef SMT_SWEEP_DIGEST_HH
+#define SMT_SWEEP_DIGEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "config/config.hh"
+#include "sim/mix_runner.hh"
+#include "sweep/json.hh"
+
+namespace smt::sweep
+{
+
+/** Bump to invalidate every previously cached result. */
+constexpr unsigned kDigestSchema = 1;
+
+/** 128-bit hash of arbitrary bytes, as 32 lowercase hex digits. */
+std::string digestHex(const std::string &bytes);
+
+/** The canonical key a measurement digest is computed over. */
+Json measurementKey(const SmtConfig &cfg, const MeasureOptions &opts);
+
+/** Digest of one (config, options, seed) measurement. */
+std::string measurementDigest(const SmtConfig &cfg,
+                              const MeasureOptions &opts);
+
+} // namespace smt::sweep
+
+#endif // SMT_SWEEP_DIGEST_HH

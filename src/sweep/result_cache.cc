@@ -1,0 +1,108 @@
+#include "sweep/result_cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sweep/digest.hh"
+#include "sweep/json.hh"
+#include "sweep/serialize.hh"
+
+namespace fs = std::filesystem;
+
+namespace smt::sweep
+{
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    smt_assert(!dir_.empty());
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        smt_fatal("cannot create result cache directory %s: %s",
+                  dir_.c_str(), ec.message().c_str());
+}
+
+std::string
+ResultCache::entryPath(const std::string &digest) const
+{
+    return dir_ + "/" + digest + ".json";
+}
+
+std::optional<SimStats>
+ResultCache::lookup(const std::string &digest) const
+{
+    std::ifstream in(entryPath(digest));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json entry;
+    if (!Json::parse(buffer.str(), entry)
+        || entry.type() != Json::Type::Object || !entry.has("digest")
+        || !entry.has("stats") || entry.at("digest").asString() != digest)
+        return std::nullopt;
+
+    SimStats stats;
+    if (!simStatsFromJson(entry.at("stats"), stats))
+        return std::nullopt;
+    return stats;
+}
+
+void
+ResultCache::store(const std::string &digest, const SmtConfig &cfg,
+                   const MeasureOptions &opts, const SimStats &stats) const
+{
+    Json entry = Json::object();
+    entry.set("digest", Json(digest));
+    entry.set("key", measurementKey(cfg, opts));
+    entry.set("stats", toJson(stats));
+
+    // Temp-then-rename keeps readers (and concurrent writers of the
+    // same digest, which by construction write identical bytes) from
+    // ever seeing a torn entry.
+    const std::string path = entryPath(digest);
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            smt_warn("result cache: cannot write %s", tmp.c_str());
+            return;
+        }
+        out << entry.dump(2) << '\n';
+        if (!out.good()) {
+            smt_warn("result cache: short write to %s", tmp.c_str());
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        smt_warn("result cache: cannot rename %s: %s", tmp.c_str(),
+                 ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+std::size_t
+ResultCache::entryCount() const
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        if (e.path().extension() == ".json")
+            ++n;
+    }
+    return n;
+}
+
+} // namespace smt::sweep

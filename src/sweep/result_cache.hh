@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The on-disk, content-addressed result store.
+ *
+ * One JSON file per measurement digest. A lookup hit replays the
+ * cached SimStats bit-identically (every counter is an exact integer
+ * in the file), so re-running a sweep re-simulates only points whose
+ * (config, options, seed) digest has changed. Entries carry the full
+ * canonical key beside the stats, making cache files self-describing.
+ * Unreadable or corrupt entries are treated as misses, never errors.
+ */
+
+#ifndef SMT_SWEEP_RESULT_CACHE_HH
+#define SMT_SWEEP_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "config/config.hh"
+#include "sim/mix_runner.hh"
+#include "stats/stats.hh"
+
+namespace smt::sweep
+{
+
+/** A directory of digest-named measurement results. */
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) the store rooted at `dir`. */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** The stats cached under `digest`, if present and well-formed. */
+    std::optional<SimStats> lookup(const std::string &digest) const;
+
+    /**
+     * Persist a measurement. Writes are atomic (temp file + rename),
+     * so concurrent sweeps sharing a cache directory are safe.
+     */
+    void store(const std::string &digest, const SmtConfig &cfg,
+               const MeasureOptions &opts, const SimStats &stats) const;
+
+    /** Number of entries currently on disk. */
+    std::size_t entryCount() const;
+
+  private:
+    std::string entryPath(const std::string &digest) const;
+
+    std::string dir_;
+};
+
+} // namespace smt::sweep
+
+#endif // SMT_SWEEP_RESULT_CACHE_HH

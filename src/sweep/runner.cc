@@ -1,0 +1,218 @@
+#include "sweep/runner.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <optional>
+
+#include "common/logging.hh"
+#include "sweep/digest.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/thread_pool.hh"
+
+namespace smt::sweep
+{
+
+RunnerOptions
+defaultRunnerOptions()
+{
+    RunnerOptions ropts;
+    ropts.measure = defaultMeasureOptions();
+    if (const char *env = std::getenv("SMTSWEEP_CACHE"); env != nullptr)
+        ropts.cacheDir = env;
+    return ropts;
+}
+
+const PointResult &
+SweepOutcome::at(const std::vector<std::size_t> &axis_choice,
+                 unsigned threads) const
+{
+    for (const PointResult &r : points) {
+        if (r.point.axisChoice == axis_choice
+            && r.point.threads == threads)
+            return r;
+    }
+    smt_fatal("experiment \"%s\" has no point at the requested grid "
+              "coordinate (%u threads)", spec.name.c_str(), threads);
+}
+
+ThreadSweep
+SweepOutcome::sweepFor(const std::vector<std::size_t> &axis_choice,
+                       const std::string &label) const
+{
+    ThreadSweep sweep;
+    sweep.label = label;
+    for (const PointResult &r : points) {
+        if (r.point.axisChoice != axis_choice)
+            continue;
+        sweep.threads.push_back(r.point.threads);
+        sweep.points.push_back(r.data);
+    }
+    smt_assert(!sweep.points.empty(),
+               "no points for sweep \"%s\" of experiment \"%s\"",
+               label.c_str(), spec.name.c_str());
+    return sweep;
+}
+
+std::vector<PointResult>
+runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
+{
+    std::optional<ResultCache> cache;
+    if (!ropts.cacheDir.empty())
+        cache.emplace(ropts.cacheDir);
+
+    std::vector<PointResult> results(points.size());
+
+    // Pass 1: resolve cache hits and queue every rotation run of every
+    // miss. Identical points (same digest) are scheduled once and
+    // share the first occurrence's result.
+    struct Pending
+    {
+        std::size_t index;                          ///< into results.
+        std::vector<std::future<SimStats>> runs;    ///< empty if serial
+                                                    ///< or duplicate.
+        std::size_t duplicateOf = SIZE_MAX;
+    };
+    std::vector<Pending> pending;
+    ThreadPool &pool = ThreadPool::global();
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &point = points[i];
+        smt_assert(point.options.runs >= 1);
+        PointResult &result = results[i];
+        result.point = point;
+        result.digest = measurementDigest(point.config, point.options);
+
+        if (cache) {
+            if (std::optional<SimStats> hit = cache->lookup(result.digest)) {
+                result.data.stats = std::move(*hit);
+                result.cached = true;
+                if (ropts.verbose)
+                    smt_inform("sweep: [hit]  %s (%s)",
+                               point.label.c_str(), result.digest.c_str());
+                continue;
+            }
+        }
+        if (ropts.requireCached)
+            smt_fatal("sweep: point \"%s\" (%s) is not cached and "
+                      "--require-cached is set",
+                      point.label.c_str(), result.digest.c_str());
+
+        Pending p;
+        p.index = i;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (results[j].digest == result.digest && !results[j].cached) {
+                p.duplicateOf = j;
+                break;
+            }
+        }
+        if (p.duplicateOf == SIZE_MAX && ropts.measure.parallel) {
+            p.runs.reserve(point.options.runs);
+            // The SweepPoint lives in the caller's vector for the whole
+            // sweep; capture by reference.
+            for (unsigned r = 0; r < point.options.runs; ++r) {
+                p.runs.push_back(pool.submit([&point, r] {
+                    return measureRun(point.config, r, point.options);
+                }));
+            }
+        }
+        if (ropts.verbose)
+            smt_inform("sweep: [miss] %s (%s)%s", point.label.c_str(),
+                       result.digest.c_str(),
+                       p.duplicateOf != SIZE_MAX ? " [duplicate]" : "");
+        pending.push_back(std::move(p));
+    }
+
+    // Pass 2: aggregate in point order, runs in run order — the same
+    // order a serial sweep uses, so results are schedule-independent.
+    for (Pending &p : pending) {
+        PointResult &result = results[p.index];
+        if (p.duplicateOf != SIZE_MAX) {
+            result.data = results[p.duplicateOf].data;
+            continue;
+        }
+        const SweepPoint &point = result.point;
+        if (p.runs.empty()) {
+            for (unsigned r = 0; r < point.options.runs; ++r)
+                result.data.stats.add(measureRun(point.config, r,
+                                                 point.options));
+        } else {
+            for (auto &f : p.runs)
+                result.data.stats.add(pool.wait(std::move(f)));
+        }
+        if (cache)
+            cache->store(result.digest, point.config, point.options,
+                         result.data.stats);
+    }
+    return results;
+}
+
+SweepOutcome
+runSweep(const ExperimentSpec &spec, const RunnerOptions &ropts)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    SweepOutcome outcome;
+    outcome.spec = spec;
+    outcome.points = runPoints(spec.expand(ropts.measure), ropts);
+    for (const PointResult &r : outcome.points) {
+        if (r.cached)
+            ++outcome.cacheHits;
+        else
+            ++outcome.cacheMisses;
+    }
+    outcome.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - start)
+            .count();
+    return outcome;
+}
+
+Json
+outcomeArtifact(const std::vector<SweepOutcome> &outcomes)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json(kDigestSchema));
+    Json experiments = Json::array();
+    for (const SweepOutcome &outcome : outcomes) {
+        Json e = Json::object();
+        e.set("experiment", Json(outcome.spec.name));
+        e.set("title", Json(outcome.spec.title));
+        e.set("wallSeconds", Json(outcome.wallSeconds));
+        e.set("cacheHits", Json(static_cast<std::uint64_t>(
+                               outcome.cacheHits)));
+        e.set("cacheMisses", Json(static_cast<std::uint64_t>(
+                                 outcome.cacheMisses)));
+        Json points = Json::array();
+        for (const PointResult &r : outcome.points) {
+            Json p = Json::object();
+            p.set("label", Json(r.point.label));
+            p.set("threads", Json(r.point.threads));
+            p.set("digest", Json(r.digest));
+            p.set("cached", Json(r.cached));
+            p.set("ipc", Json(r.data.ipc()));
+            p.set("cycles", Json(r.data.stats.cycles));
+            p.set("committedInstructions",
+                  Json(r.data.stats.committedInstructions));
+            points.push(std::move(p));
+        }
+        e.set("points", std::move(points));
+        experiments.push(std::move(e));
+    }
+    doc.set("experiments", std::move(experiments));
+    return doc;
+}
+
+void
+writeJsonFile(const std::string &path, const Json &j)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        smt_fatal("cannot write %s", path.c_str());
+    out << j.dump(2) << '\n';
+    if (!out.good())
+        smt_fatal("short write to %s", path.c_str());
+}
+
+} // namespace smt::sweep

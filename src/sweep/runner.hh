@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The sweep runner: expands a spec, consults the result cache, and
+ * schedules every rotation run of every uncached point onto the shared
+ * thread pool at once — a whole figure saturates the machine instead
+ * of one data point's eight runs at a time.
+ */
+
+#ifndef SMT_SWEEP_RUNNER_HH
+#define SMT_SWEEP_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/mix_runner.hh"
+#include "sweep/json.hh"
+#include "sweep/spec.hh"
+
+namespace smt::sweep
+{
+
+/** How to execute a sweep. */
+struct RunnerOptions
+{
+    /** Baseline measurement knobs (specs may override cycles/warmup/
+     *  runs; `parallel` is always taken from here). */
+    MeasureOptions measure;
+
+    /** Cache directory; empty disables caching. */
+    std::string cacheDir;
+
+    /** Fail (exit 1) on any cache miss — CI's "second pass is all
+     *  hits" assertion. */
+    bool requireCached = false;
+
+    /** Print per-point scheduling/caching progress to stderr. */
+    bool verbose = false;
+};
+
+/** Runner options honouring the SMTSIM_* measurement environment and
+ *  the SMTSWEEP_CACHE cache-directory override (unset: no cache). */
+RunnerOptions defaultRunnerOptions();
+
+/** One measured (or cache-replayed) grid point. */
+struct PointResult
+{
+    SweepPoint point;
+    DataPoint data;
+    std::string digest;
+    bool cached = false;
+};
+
+/** A completed sweep. */
+struct SweepOutcome
+{
+    ExperimentSpec spec;
+    std::vector<PointResult> points;
+    unsigned cacheHits = 0;
+    unsigned cacheMisses = 0;
+    double wallSeconds = 0.0;
+
+    /** The result at an exact grid coordinate (fatal if absent). */
+    const PointResult &at(const std::vector<std::size_t> &axis_choice,
+                          unsigned threads) const;
+
+    /** Collect one axis combination across its thread counts as a
+     *  ThreadSweep, for the classic IPC-per-thread-count tables. */
+    ThreadSweep sweepFor(const std::vector<std::size_t> &axis_choice,
+                         const std::string &label) const;
+};
+
+/** Expand and run one experiment. */
+SweepOutcome runSweep(const ExperimentSpec &spec,
+                      const RunnerOptions &ropts);
+
+/**
+ * Measure explicit points through the scheduler+cache (for bespoke
+ * probes that are not grid-shaped). Results are in point order.
+ */
+std::vector<PointResult> runPoints(const std::vector<SweepPoint> &points,
+                                   const RunnerOptions &ropts);
+
+/** The BENCH_sweep.json artifact body for a set of completed sweeps. */
+Json outcomeArtifact(const std::vector<SweepOutcome> &outcomes);
+
+/** Write a JSON document to a file (fatal on I/O failure). */
+void writeJsonFile(const std::string &path, const Json &j);
+
+} // namespace smt::sweep
+
+#endif // SMT_SWEEP_RUNNER_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * JSON views of the simulator's domain types.
+ *
+ * Configs and measure options serialize one-way (their JSON is the
+ * canonical form the content digest hashes, and a human-readable
+ * record inside cache entries); SimStats round-trips exactly — every
+ * counter is a 64-bit integer, so a cache hit reproduces the stats of
+ * the original simulation bit for bit.
+ */
+
+#ifndef SMT_SWEEP_SERIALIZE_HH
+#define SMT_SWEEP_SERIALIZE_HH
+
+#include "config/config.hh"
+#include "sim/mix_runner.hh"
+#include "stats/stats.hh"
+#include "sweep/json.hh"
+
+namespace smt::sweep
+{
+
+/** Every architectural knob, in a fixed field order. */
+Json toJson(const SmtConfig &cfg);
+
+/** The result-affecting measurement knobs (never `parallel`). */
+Json toJson(const MeasureOptions &opts);
+
+/** Every counter, including histogram state. */
+Json toJson(const SimStats &stats);
+
+/** Rebuild stats from toJson() output; false on a malformed value. */
+bool simStatsFromJson(const Json &j, SimStats &out);
+
+} // namespace smt::sweep
+
+#endif // SMT_SWEEP_SERIALIZE_HH

@@ -1,0 +1,104 @@
+#include "sweep/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace smt::sweep
+{
+
+namespace
+{
+
+unsigned
+defaultWorkerCount()
+{
+    if (const char *env = std::getenv("SMTSIM_POOL_WORKERS");
+        env != nullptr) {
+        const unsigned n = static_cast<unsigned>(std::strtoul(env, nullptr,
+                                                              10));
+        if (n >= 1)
+            return n;
+        smt_warn("ignoring SMTSIM_POOL_WORKERS=%s", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 2;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_(workers >= 1 ? workers : defaultWorkerCount())
+{
+    threads_.reserve(workers_);
+    for (unsigned i = 0; i < workers_; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // Intentionally leaked: the pool must outlive every static whose
+    // destructor could still be measuring, and a worker-less forked
+    // child (death tests, daemonized callers) must not try to join
+    // threads fork didn't copy. The OS reclaims the workers at exit.
+    static ThreadPool *pool = new ThreadPool;
+    return *pool;
+}
+
+bool
+ThreadPool::runOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        smt_assert(!stopping_);
+        queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping, queue drained.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace smt::sweep

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * smtsweep: run any named experiment through the sweep engine.
+ *
+ *   smtsweep --experiment fig5
+ *       run Figure 5's grid (printing the same self-check table as
+ *       bench/fig5_fetch_policies) with on-disk result caching;
+ *   smtsweep --experiment fig5 --require-cached
+ *       assert the whole grid replays from cache (CI's second pass);
+ *   smtsweep --list | --describe NAME
+ *       enumerate / inspect experiment grids without running them.
+ *
+ * Measurement knobs come from the SMTSIM_CYCLES / SMTSIM_WARMUP /
+ * SMTSIM_RUNS / SMTSIM_SERIAL environment (like the bench binaries)
+ * unless overridden by flags.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sweep/digest.hh"
+#include "sweep/experiments.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/runner.hh"
+#include "sweep/thread_pool.hh"
+
+namespace
+{
+
+int
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: smtsweep --experiment NAME [options]\n"
+        "       smtsweep --list\n"
+        "       smtsweep --describe NAME\n"
+        "\n"
+        "options:\n"
+        "  --experiment NAME   experiment to run (repeatable)\n"
+        "  --cache-dir DIR     result cache directory (default\n"
+        "                      $SMTSWEEP_CACHE or .smtsweep-cache)\n"
+        "  --no-cache          disable the result cache\n"
+        "  --require-cached    fail on any cache miss\n"
+        "  --json PATH         write a BENCH_sweep.json artifact\n"
+        "  --cycles N          measured cycles per run\n"
+        "  --warmup N          warmup cycles per run\n"
+        "  --runs N            rotation runs per data point\n"
+        "  --serial            run data points serially (no pool)\n"
+        "  --verbose           log per-point cache hits/misses\n");
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace smt::sweep;
+
+    RunnerOptions ropts = defaultRunnerOptions();
+    if (ropts.cacheDir.empty())
+        ropts.cacheDir = ".smtsweep-cache";
+
+    std::vector<std::string> names;
+    std::string json_path;
+    bool list = false;
+    std::vector<std::string> describe;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "smtsweep: %s needs a value\n", argv[i]);
+            std::exit(usage(2));
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--experiment") == 0)
+            names.push_back(next_arg(i));
+        else if (std::strcmp(arg, "--cache-dir") == 0)
+            ropts.cacheDir = next_arg(i);
+        else if (std::strcmp(arg, "--no-cache") == 0)
+            ropts.cacheDir.clear();
+        else if (std::strcmp(arg, "--require-cached") == 0)
+            ropts.requireCached = true;
+        else if (std::strcmp(arg, "--json") == 0)
+            json_path = next_arg(i);
+        else if (std::strcmp(arg, "--cycles") == 0)
+            ropts.measure.cyclesPerRun =
+                std::strtoull(next_arg(i), nullptr, 10);
+        else if (std::strcmp(arg, "--warmup") == 0)
+            ropts.measure.warmupCycles =
+                std::strtoull(next_arg(i), nullptr, 10);
+        else if (std::strcmp(arg, "--runs") == 0) {
+            const char *value = next_arg(i);
+            ropts.measure.runs = static_cast<unsigned>(
+                std::strtoul(value, nullptr, 10));
+            if (ropts.measure.runs < 1) {
+                std::fprintf(stderr,
+                             "smtsweep: --runs needs a positive count, "
+                             "got \"%s\"\n",
+                             value);
+                return 2;
+            }
+        }
+        else if (std::strcmp(arg, "--serial") == 0)
+            ropts.measure.parallel = false;
+        else if (std::strcmp(arg, "--verbose") == 0)
+            ropts.verbose = true;
+        else if (std::strcmp(arg, "--list") == 0)
+            list = true;
+        else if (std::strcmp(arg, "--describe") == 0)
+            describe.push_back(next_arg(i));
+        else if (std::strcmp(arg, "--help") == 0
+                 || std::strcmp(arg, "-h") == 0)
+            return usage(0);
+        else {
+            std::fprintf(stderr, "smtsweep: unknown option %s\n", arg);
+            return usage(2);
+        }
+    }
+
+    if (list) {
+        for (const NamedExperiment &e : allExperiments())
+            std::printf("%-8s %4zu points  %s\n", e.spec.name.c_str(),
+                        e.spec.gridSize(), e.spec.title.c_str());
+        return 0;
+    }
+    for (const std::string &name : describe) {
+        const NamedExperiment *e = findExperiment(name);
+        if (e == nullptr) {
+            std::fprintf(stderr, "smtsweep: unknown experiment \"%s\"\n",
+                         name.c_str());
+            return 2;
+        }
+        std::printf("%s\n", e->spec.describe().dump(2).c_str());
+    }
+    if (!describe.empty() && names.empty())
+        return 0;
+
+    if (names.empty()) {
+        std::fprintf(stderr, "smtsweep: no experiment named "
+                             "(try --list)\n");
+        return usage(2);
+    }
+
+    std::vector<SweepOutcome> outcomes;
+    for (const std::string &name : names) {
+        const NamedExperiment *e = findExperiment(name);
+        if (e == nullptr) {
+            std::fprintf(stderr, "smtsweep: unknown experiment \"%s\" "
+                                 "(try --list)\n",
+                         name.c_str());
+            return 2;
+        }
+        SweepOutcome outcome = runSweep(e->spec, ropts);
+        e->report(outcome);
+        std::printf("sweep %s: %zu points, %u cache hits, %u misses, "
+                    "%.2fs wall (pool: %u workers%s)\n",
+                    outcome.spec.name.c_str(), outcome.points.size(),
+                    outcome.cacheHits, outcome.cacheMisses,
+                    outcome.wallSeconds, ThreadPool::global().workerCount(),
+                    ropts.cacheDir.empty() ? ", cache off" : "");
+        outcomes.push_back(std::move(outcome));
+    }
+
+    if (!json_path.empty())
+        writeJsonFile(json_path, outcomeArtifact(outcomes));
+    return 0;
+}
