@@ -7,18 +7,20 @@
  *
  * Paper: infinite FUs +0.5%; IQ-64 <+1%; fetch 2.16 +8% (5.7 IPC);
  * +IQ64+140regs another +7% (6.1 IPC); infinite cache bandwidth +3%.
+ *
+ * Probes run through sweep::runPoints(), so they share the scheduler
+ * and the result cache with every other experiment.
  */
 
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sweep/runner.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
     const smt::SmtConfig base_cfg = smt::presets::icount28(8);
-    const smt::DataPoint base = smt::measure(base_cfg, opts);
 
     struct Probe
     {
@@ -63,17 +65,37 @@ main()
         probes.push_back({"infinite cache bandwidth", "+3%", cfg});
     }
 
+    const smt::sweep::RunnerOptions ropts =
+        smt::sweep::defaultRunnerOptions();
+    std::vector<smt::sweep::SweepPoint> points;
+    const auto add_point = [&](const char *label,
+                               const smt::SmtConfig &cfg) {
+        smt::sweep::SweepPoint p;
+        p.label = label;
+        p.threads = cfg.numThreads;
+        p.config = cfg;
+        p.options = ropts.measure;
+        points.push_back(std::move(p));
+    };
+    add_point("ICOUNT.2.8 base", base_cfg);
+    for (const Probe &probe : probes)
+        add_point(probe.label, probe.cfg);
+
+    const std::vector<smt::sweep::PointResult> results =
+        smt::sweep::runPoints(points, ropts);
+    const smt::DataPoint &base = results[0].data;
+
     smt::Table table("Section 7: bottleneck probes (ICOUNT.2.8, 8T)");
     table.setHeader({"configuration", "IPC", "vs base", "paper"});
     table.addRow({"ICOUNT.2.8 base", smt::fmtDouble(base.ipc(), 2), "-",
                   "5.3 IPC"});
-    for (const Probe &p : probes) {
-        const smt::DataPoint d = smt::measure(p.cfg, opts);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const smt::DataPoint &d = results[i + 1].data;
         char delta[32];
         std::snprintf(delta, sizeof delta, "%+.1f%%",
                       100.0 * (d.ipc() / base.ipc() - 1.0));
-        table.addRow({p.label, smt::fmtDouble(d.ipc(), 2), delta,
-                      p.paper});
+        table.addRow({probes[i].label, smt::fmtDouble(d.ipc(), 2), delta,
+                      probes[i].paper});
     }
 
     std::printf("%s\n", table.render().c_str());

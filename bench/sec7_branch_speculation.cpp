@@ -7,46 +7,94 @@
  *  - wrong-path fetch/issue sensitivity: 1 vs 8 threads;
  *  - speculation restrictions: NoWrongPathIssue (paper: -38% @1T,
  *    -7% @8T) and NoPassBranch (paper: -12% @1T, -1.5% @8T).
+ *
+ * Probes run through sweep::runPoints(), so they share the scheduler
+ * and the result cache with every other experiment; repeated machines
+ * (the ICOUNT.2.8 baselines) are deduplicated by digest and measured
+ * once.
  */
 
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sweep/runner.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
+    const smt::sweep::RunnerOptions ropts =
+        smt::sweep::defaultRunnerOptions();
+    std::vector<smt::sweep::SweepPoint> points;
+    const auto add_point = [&](const std::string &label,
+                               const smt::SmtConfig &cfg) {
+        smt::sweep::SweepPoint p;
+        p.label = label;
+        p.threads = cfg.numThreads;
+        p.config = cfg;
+        p.options = ropts.measure;
+        points.push_back(std::move(p));
+        return points.size() - 1;
+    };
+
+    const unsigned counts[] = {1, 4, 8};
+    std::size_t base_at[3], perfect_at[3];
+    for (unsigned i = 0; i < 3; ++i) {
+        const unsigned t = counts[i];
+        base_at[i] = add_point("base " + std::to_string(t) + "T",
+                               smt::presets::icount28(t));
+        smt::SmtConfig perfect = smt::presets::icount28(t);
+        perfect.perfectBranchPrediction = true;
+        perfect_at[i] =
+            add_point("perfect BP " + std::to_string(t) + "T", perfect);
+    }
+    smt::SmtConfig doubled = smt::presets::icount28(8);
+    doubled.btbEntries = 512;
+    doubled.phtEntries = 4096;
+    const std::size_t doubled_at = add_point("doubled BTB+PHT", doubled);
+
+    struct Mode
+    {
+        smt::SpeculationMode mode;
+        const char *paper;
+        std::size_t at1, at8;
+    };
+    std::vector<Mode> modes = {
+        {smt::SpeculationMode::NoPassBranch, "-12% / -1.5%", 0, 0},
+        {smt::SpeculationMode::NoWrongPathIssue, "-38% / -7%", 0, 0},
+    };
+    for (Mode &m : modes) {
+        smt::SmtConfig c1 = smt::presets::icount28(1);
+        c1.speculation = m.mode;
+        m.at1 = add_point(std::string(smt::toString(m.mode)) + " 1T", c1);
+        smt::SmtConfig c8 = smt::presets::icount28(8);
+        c8.speculation = m.mode;
+        m.at8 = add_point(std::string(smt::toString(m.mode)) + " 8T", c8);
+    }
+
+    const std::vector<smt::sweep::PointResult> results =
+        smt::sweep::runPoints(points, ropts);
 
     smt::Table bp_table(
         "Section 7: branch prediction sensitivity (ICOUNT.2.8)");
     bp_table.setHeader({"threads", "base IPC", "perfect BP", "gain",
                         "paper gain"});
     const char *paper_gain[] = {"+25%", "+15%", "+9%"};
-    const unsigned counts[] = {1, 4, 8};
     for (unsigned i = 0; i < 3; ++i) {
-        const unsigned t = counts[i];
-        const smt::DataPoint base =
-            smt::measure(smt::presets::icount28(t), opts);
-        smt::SmtConfig perfect = smt::presets::icount28(t);
-        perfect.perfectBranchPrediction = true;
-        const smt::DataPoint p = smt::measure(perfect, opts);
+        const smt::DataPoint &base = results[base_at[i]].data;
+        const smt::DataPoint &p = results[perfect_at[i]].data;
         char gain[32];
         std::snprintf(gain, sizeof gain, "%+.1f%%",
                       100.0 * (p.ipc() / base.ipc() - 1.0));
-        bp_table.addRow({std::to_string(t), smt::fmtDouble(base.ipc(), 2),
+        bp_table.addRow({std::to_string(counts[i]),
+                         smt::fmtDouble(base.ipc(), 2),
                          smt::fmtDouble(p.ipc(), 2), gain,
                          paper_gain[i]});
     }
     std::printf("%s\n", bp_table.render().c_str());
 
     {
-        const smt::DataPoint base =
-            smt::measure(smt::presets::icount28(8), opts);
-        smt::SmtConfig doubled = smt::presets::icount28(8);
-        doubled.btbEntries = 512;
-        doubled.phtEntries = 4096;
-        const smt::DataPoint d = smt::measure(doubled, opts);
+        const smt::DataPoint &base = results[base_at[2]].data;
+        const smt::DataPoint &d = results[doubled_at].data;
         std::printf("doubled BTB+PHT at 8T: %.2f -> %.2f IPC (%+.1f%%; "
                     "paper: +2%%)\n\n",
                     base.ipc(), d.ipc(),
@@ -57,27 +105,14 @@ main()
         "Section 7: speculative execution restrictions (ICOUNT.2.8)");
     spec_table.setHeader({"mode", "1T IPC", "1T cost", "8T IPC", "8T cost",
                           "paper 1T/8T cost"});
-    const smt::DataPoint full1 =
-        smt::measure(smt::presets::icount28(1), opts);
-    const smt::DataPoint full8 =
-        smt::measure(smt::presets::icount28(8), opts);
+    const smt::DataPoint &full1 = results[base_at[0]].data;
+    const smt::DataPoint &full8 = results[base_at[2]].data;
     spec_table.addRow({"full speculation", smt::fmtDouble(full1.ipc(), 2),
                        "-", smt::fmtDouble(full8.ipc(), 2), "-", "-"});
 
-    struct Mode
-    {
-        smt::SpeculationMode mode;
-        const char *paper;
-    };
-    for (const Mode &m :
-         {Mode{smt::SpeculationMode::NoPassBranch, "-12% / -1.5%"},
-          Mode{smt::SpeculationMode::NoWrongPathIssue, "-38% / -7%"}}) {
-        smt::SmtConfig c1 = smt::presets::icount28(1);
-        c1.speculation = m.mode;
-        smt::SmtConfig c8 = smt::presets::icount28(8);
-        c8.speculation = m.mode;
-        const smt::DataPoint p1 = smt::measure(c1, opts);
-        const smt::DataPoint p8 = smt::measure(c8, opts);
+    for (const Mode &m : modes) {
+        const smt::DataPoint &p1 = results[m.at1].data;
+        const smt::DataPoint &p8 = results[m.at8].data;
         char cost1[32], cost8[32];
         std::snprintf(cost1, sizeof cost1, "%+.1f%%",
                       100.0 * (p1.ipc() / full1.ipc() - 1.0));

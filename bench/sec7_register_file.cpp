@@ -7,32 +7,63 @@
  *
  * Paper: infinite +2% over 100; 90 -> -1%, 80 -> -3%, 70 -> -6%;
  * no sharp drop-off; 4-thread reductions nearly identical.
+ *
+ * Both thread counts' grids run through one sweep::runPoints() call,
+ * so they share the scheduler and the result cache; the excess=100
+ * column duplicates the baseline's digest and is measured once.
  */
 
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sweep/runner.hh"
 
 int
 main()
 {
-    const smt::MeasureOptions opts = smt::defaultMeasureOptions();
     const unsigned excess[] = {70, 80, 90, 100, 140, 1000};
     const char *paper[] = {"-6%", "-3%", "-1%", "baseline", "n/a", "+2%"};
+    const unsigned thread_counts[] = {8u, 4u};
 
-    for (unsigned threads : {8u, 4u}) {
-        smt::SmtConfig base_cfg = smt::presets::icount28(threads);
-        const smt::DataPoint base = smt::measure(base_cfg, opts);
+    const smt::sweep::RunnerOptions ropts =
+        smt::sweep::defaultRunnerOptions();
+    std::vector<smt::sweep::SweepPoint> points;
+    for (unsigned threads : thread_counts) {
+        const smt::SmtConfig base_cfg = smt::presets::icount28(threads);
+        {
+            smt::sweep::SweepPoint p;
+            p.label = "base " + std::to_string(threads) + "T";
+            p.threads = threads;
+            p.config = base_cfg;
+            p.options = ropts.measure;
+            points.push_back(std::move(p));
+        }
+        for (unsigned i = 0; i < 6; ++i) {
+            smt::sweep::SweepPoint p;
+            p.label = "excess " + std::to_string(excess[i]) + " "
+                      + std::to_string(threads) + "T";
+            p.threads = threads;
+            p.config = base_cfg;
+            p.config.excessRegisters = excess[i];
+            p.options = ropts.measure;
+            points.push_back(std::move(p));
+        }
+    }
+
+    const std::vector<smt::sweep::PointResult> results =
+        smt::sweep::runPoints(points, ropts);
+
+    for (unsigned ti = 0; ti < 2; ++ti) {
+        const unsigned threads = thread_counts[ti];
+        const std::size_t block = ti * 7; // base + 6 variants per count.
+        const smt::DataPoint &base = results[block].data;
 
         smt::Table table("Section 7: excess registers sweep, " +
                          std::to_string(threads) + " threads");
         table.setHeader({"excess regs/file", "IPC", "vs 100",
                          "out-of-regs", "paper @8T"});
         for (unsigned i = 0; i < 6; ++i) {
-            smt::SmtConfig cfg = base_cfg;
-            cfg.excessRegisters = excess[i];
-            const smt::DataPoint d =
-                excess[i] == 100 ? base : smt::measure(cfg, opts);
+            const smt::DataPoint &d = results[block + 1 + i].data;
             char delta[32];
             std::snprintf(delta, sizeof delta, "%+.1f%%",
                           100.0 * (d.ipc() / base.ipc() - 1.0));

@@ -1,0 +1,383 @@
+#include "dist/coordinator.hh"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "common/logging.hh"
+#include "dist/progress.hh"
+#include "dist/shard.hh"
+#include "sweep/digest.hh"
+#include "sweep/result_store.hh"
+
+namespace fs = std::filesystem;
+
+namespace smt::dist
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - start)
+        .count();
+}
+
+sweep::Json
+makeManifest(const std::string &experiment,
+             const std::vector<sweep::SweepPoint> &grid,
+             const ShardPlan &plan)
+{
+    sweep::Json manifest = sweep::Json::object();
+    manifest.set("schema", sweep::Json(sweep::kDigestSchema));
+    manifest.set("experiment", sweep::Json(experiment));
+    manifest.set("shardCount", sweep::Json(plan.shardCount));
+    sweep::Json points = sweep::Json::array();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        sweep::Json p = sweep::Json::object();
+        p.set("digest", sweep::Json(plan.digests[i]));
+        p.set("shard", sweep::Json(plan.shardOf[i]));
+        p.set("label", sweep::Json(grid[i].label));
+        p.set("threads", sweep::Json(grid[i].threads));
+        points.push(std::move(p));
+    }
+    manifest.set("points", std::move(points));
+    return manifest;
+}
+
+} // namespace
+
+long
+LocalProcessLauncher::launch(unsigned shard,
+                             const std::vector<std::string> &argv)
+{
+    // Build the exec vector before forking: the child must go straight
+    // to execv without touching the heap.
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        smt_fatal("cannot fork worker for shard %u", shard);
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // Reached only when exec failed; stdio may be shared with the
+        // parent, so keep it to one write and a raw exit.
+        std::fprintf(stderr, "smtsweep-dist: cannot exec %s\n", cargv[0]);
+        ::_exit(127);
+    }
+    return pid;
+}
+
+bool
+LocalProcessLauncher::poll(long handle, int &exit_code)
+{
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(handle), &status, WNOHANG);
+    if (r == 0)
+        return false;
+    if (r < 0) {
+        // Already reaped (or never ours): treat as a failed exit.
+        exit_code = 127;
+        return true;
+    }
+    if (WIFEXITED(status))
+        exit_code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        exit_code = 128 + WTERMSIG(status);
+    else
+        return false; // stopped/continued; keep polling.
+    return true;
+}
+
+void
+LocalProcessLauncher::terminate(long handle)
+{
+    ::kill(static_cast<pid_t>(handle), SIGTERM);
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(handle), &status, 0);
+}
+
+std::unique_ptr<WorkerLauncher>
+makeLauncher(const std::string &host_list)
+{
+    if (!host_list.empty())
+        smt_fatal("remote worker hosts (\"%s\") are not supported yet: "
+                  "the WorkerLauncher backend for host lists is the "
+                  "ROADMAP follow-on; run without --hosts for local "
+                  "multi-process sharding",
+                  host_list.c_str());
+    return std::make_unique<LocalProcessLauncher>();
+}
+
+int
+runDistributed(const sweep::NamedExperiment &experiment,
+               const DistOptions &opts, DistOutcome &outcome)
+{
+    smt_assert(opts.shards >= 1, "need at least one shard");
+    if (opts.ropts.cacheDir.empty())
+        smt_fatal("a distributed sweep needs a shared store "
+                  "(--cache-dir)");
+    const std::string &name = experiment.spec.name;
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // Plan and record the expected work before any worker starts, so
+    // the store can be audited from the first heartbeat on.
+    const std::vector<sweep::SweepPoint> grid =
+        experiment.spec.expand(opts.ropts.measure);
+    const ShardPlan plan = planShards(grid, opts.shards);
+    {
+        std::unique_ptr<sweep::ResultStore> store =
+            sweep::openLocalStore(opts.ropts.cacheDir);
+        store->writeManifest(makeManifest(name, grid, plan));
+    }
+    std::error_code ec;
+    fs::create_directories(opts.ropts.cacheDir + "/progress", ec);
+    if (ec)
+        smt_fatal("cannot create %s/progress: %s",
+                  opts.ropts.cacheDir.c_str(), ec.message().c_str());
+
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned jobs = opts.jobsPerWorker > 0
+                              ? opts.jobsPerWorker
+                              : std::max(1u, hw / opts.shards);
+
+    auto workerArgs = [&](unsigned shard) {
+        std::vector<std::string> argv = {
+            opts.smtsweepPath,
+            "--experiment", name,
+            "--shard",
+            std::to_string(shard) + "/" + std::to_string(opts.shards),
+            "--cache-dir", opts.ropts.cacheDir,
+            "--progress-file", progressPath(opts.ropts.cacheDir, shard),
+            "--jobs", std::to_string(jobs),
+            // Forward the measurement knobs explicitly so every worker
+            // expands and plans the identical grid whatever its
+            // environment says.
+            "--cycles", std::to_string(opts.ropts.measure.cyclesPerRun),
+            "--warmup", std::to_string(opts.ropts.measure.warmupCycles),
+            "--runs", std::to_string(opts.ropts.measure.runs),
+        };
+        if (!opts.ropts.measure.parallel)
+            argv.push_back("--serial");
+        if (opts.ropts.verbose)
+            argv.push_back("--verbose");
+        return argv;
+    };
+
+    std::unique_ptr<WorkerLauncher> launcher = makeLauncher(opts.hostList);
+
+    struct Worker
+    {
+        long handle = -1;
+        bool running = false;
+        unsigned attempts = 0;
+        ShardStatus status;
+        std::chrono::steady_clock::time_point launchedAt;
+    };
+    std::vector<Worker> workers(opts.shards);
+    for (unsigned s = 0; s < opts.shards; ++s) {
+        workers[s].status.shard = s;
+        workers[s].handle = launcher->launch(s, workerArgs(s));
+        workers[s].running = true;
+        workers[s].attempts = 1;
+        workers[s].launchedAt = start;
+    }
+
+    const bool live_tty = opts.showProgress && ::isatty(2) != 0;
+    std::string last_logged;
+    bool failed = false;
+    unsigned running = opts.shards;
+
+    while (running > 0) {
+        for (Worker &w : workers) {
+            if (!w.running)
+                continue;
+            int exit_code = 0;
+            if (!launcher->poll(w.handle, exit_code))
+                continue;
+            w.running = false;
+            --running;
+            if (exit_code == 0) {
+                w.status.succeeded = true;
+                w.status.attempts = w.attempts;
+                w.status.wallSeconds = secondsSince(w.launchedAt);
+                continue;
+            }
+            if (w.attempts <= opts.retries) {
+                smt_warn("shard %u/%u exited with code %d; relaunching "
+                         "(attempt %u of %u)",
+                         w.status.shard, opts.shards, exit_code,
+                         w.attempts + 1, opts.retries + 1);
+                w.handle = launcher->launch(w.status.shard,
+                                            workerArgs(w.status.shard));
+                w.running = true;
+                ++w.attempts;
+                w.launchedAt = std::chrono::steady_clock::now();
+                ++running;
+                continue;
+            }
+            smt_warn("shard %u/%u failed with code %d after %u attempts; "
+                     "aborting the sweep",
+                     w.status.shard, opts.shards, exit_code, w.attempts);
+            w.status.attempts = w.attempts;
+            failed = true;
+        }
+        if (failed)
+            break;
+
+        // Fold every shard's newest heartbeat into one status line.
+        std::vector<ProgressRecord> latest;
+        for (unsigned s = 0; s < opts.shards; ++s) {
+            ProgressRecord rec;
+            if (readLatestProgress(
+                    progressPath(opts.ropts.cacheDir, s), rec))
+                latest.push_back(rec);
+        }
+        const ProgressSummary summary = aggregateProgress(latest);
+        const std::string line =
+            renderProgressLine(summary, opts.shards, secondsSince(start));
+        if (opts.showProgress) {
+            if (live_tty) {
+                std::fprintf(stderr, "\r[smtsweep-dist] %-70s",
+                             line.c_str());
+                std::fflush(stderr);
+            } else {
+                // Non-tty (CI logs): one line per state change, keyed
+                // on progress rather than elapsed time.
+                std::string key =
+                    std::to_string(summary.pointsDone) + "/"
+                    + std::to_string(summary.shardsFinished);
+                if (key != last_logged) {
+                    std::fprintf(stderr, "[smtsweep-dist] %s\n",
+                                 line.c_str());
+                    last_logged = std::move(key);
+                }
+            }
+        }
+        if (running > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    if (live_tty)
+        std::fprintf(stderr, "\n");
+
+    if (failed) {
+        for (Worker &w : workers) {
+            if (w.running)
+                launcher->terminate(w.handle);
+        }
+        return 1;
+    }
+
+    // Collect final per-shard numbers from the heartbeat files.
+    outcome.shards.clear();
+    outcome.workerCacheHits = 0;
+    for (Worker &w : workers) {
+        ProgressRecord rec;
+        if (readLatestProgress(
+                progressPath(opts.ropts.cacheDir, w.status.shard), rec)) {
+            w.status.points = rec.pointsTotal;
+            w.status.cacheHits = rec.cacheHits;
+        }
+        outcome.workerCacheHits += w.status.cacheHits;
+        outcome.shards.push_back(w.status);
+    }
+
+    // Merge: replay the whole grid from the shared store. Every point
+    // must hit — a miss here means a worker lied about finishing — and
+    // the replay is bit-identical to a serial run by construction.
+    sweep::RunnerOptions merge_opts = opts.ropts;
+    merge_opts.requireCached = true;
+    merge_opts.onProgress = nullptr;
+    outcome.merged = sweep::runSweep(experiment.spec, merge_opts);
+    outcome.wallSeconds = secondsSince(start);
+    return 0;
+}
+
+sweep::Json
+distArtifact(const std::string &experiment, const DistOutcome &outcome)
+{
+    sweep::Json doc = sweep::Json::object();
+    doc.set("schema", sweep::Json(sweep::kDigestSchema));
+    doc.set("experiment", sweep::Json(experiment));
+    doc.set("shards",
+            sweep::Json(static_cast<std::uint64_t>(outcome.shards.size())));
+    sweep::Json shard_list = sweep::Json::array();
+    for (const ShardStatus &s : outcome.shards) {
+        sweep::Json j = sweep::Json::object();
+        j.set("shard", sweep::Json(s.shard));
+        j.set("attempts", sweep::Json(s.attempts));
+        j.set("points", sweep::Json(static_cast<std::uint64_t>(s.points)));
+        j.set("cacheHits",
+              sweep::Json(static_cast<std::uint64_t>(s.cacheHits)));
+        j.set("wallSeconds", sweep::Json(s.wallSeconds));
+        shard_list.push(std::move(j));
+    }
+    doc.set("workers", std::move(shard_list));
+    doc.set("workerCacheHits",
+            sweep::Json(static_cast<std::uint64_t>(outcome.workerCacheHits)));
+    doc.set("mergeCacheHits", sweep::Json(outcome.merged.cacheHits));
+    doc.set("mergeCacheMisses", sweep::Json(outcome.merged.cacheMisses));
+    doc.set("wallSeconds", sweep::Json(outcome.wallSeconds));
+    doc.set("merged", sweep::outcomeArtifact({outcome.merged}));
+    return doc;
+}
+
+int
+auditStore(const std::string &cache_dir, bool verbose)
+{
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(cache_dir);
+    const std::optional<sweep::Json> manifest = store->readManifest();
+    if (!manifest.has_value()
+        || manifest->type() != sweep::Json::Type::Object
+        || !manifest->has("points")) {
+        std::fprintf(stderr,
+                     "no sweep manifest in %s (has a coordinator run "
+                     "here?)\n",
+                     store->description().c_str());
+        return 2;
+    }
+
+    std::map<std::string, sweep::WorkState> states;
+    const sweep::Json &points = manifest->at("points");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::string &digest = points[i].at("digest").asString();
+        if (states.find(digest) == states.end())
+            states.emplace(digest, store->state(digest));
+    }
+
+    std::map<sweep::WorkState, std::size_t> counts;
+    for (const auto &[digest, state] : states) {
+        ++counts[state];
+        if (verbose)
+            std::printf("%s  %s\n", digest.c_str(),
+                        sweep::toString(state));
+    }
+    std::printf("%s: experiment %s, %zu points (%zu unique), "
+                "%zu done, %zu in-progress, %zu orphaned, %zu pending\n",
+                store->description().c_str(),
+                manifest->at("experiment").asString().c_str(),
+                points.size(), states.size(),
+                counts[sweep::WorkState::Done],
+                counts[sweep::WorkState::InProgress],
+                counts[sweep::WorkState::Orphaned],
+                counts[sweep::WorkState::Pending]);
+    return 0;
+}
+
+} // namespace smt::dist

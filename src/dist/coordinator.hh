@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The multi-process sweep coordinator.
+ *
+ * Plans the shard partition, records the expected-work manifest in the
+ * shared store, launches one `smtsweep --shard i/N` worker per shard,
+ * monitors their heartbeat files into a live stderr progress line
+ * (with ETA), relaunches failed shards, and finally merges the store
+ * back into a SweepOutcome — a pure cache replay, so the merged result
+ * is bit-identical to a serial run of the same experiment.
+ *
+ * Worker processes are started through the WorkerLauncher interface.
+ * The local implementation fork/execs on this host; a remote backend
+ * (ssh to a host list, a job scheduler) would implement the same
+ * interface — see makeLauncher(), which currently accepts only the
+ * local case.
+ */
+
+#ifndef SMT_DIST_COORDINATOR_HH
+#define SMT_DIST_COORDINATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sweep/experiments.hh"
+#include "sweep/json.hh"
+#include "sweep/runner.hh"
+
+namespace smt::dist
+{
+
+/** Starts and polls worker processes for the coordinator. */
+class WorkerLauncher
+{
+  public:
+    virtual ~WorkerLauncher() = default;
+
+    /** Start the worker for `shard` with the given argv (argv[0] is
+     *  the program). Returns an opaque handle. */
+    virtual long launch(unsigned shard,
+                        const std::vector<std::string> &argv) = 0;
+
+    /** Poll a worker; true once it has exited, filling `exit_code`
+     *  (128+signal for a signalled death). */
+    virtual bool poll(long handle, int &exit_code) = 0;
+
+    /** Best-effort termination (another shard failed hard). */
+    virtual void terminate(long handle) = 0;
+};
+
+/** fork/exec workers on this host. */
+class LocalProcessLauncher final : public WorkerLauncher
+{
+  public:
+    long launch(unsigned shard,
+                const std::vector<std::string> &argv) override;
+    bool poll(long handle, int &exit_code) override;
+    void terminate(long handle) override;
+};
+
+/**
+ * The launcher for a host list. An empty list means this host
+ * (LocalProcessLauncher); a non-empty list is the remote backend's
+ * slot, which is not implemented yet (fatal, pointing at ROADMAP).
+ */
+std::unique_ptr<WorkerLauncher> makeLauncher(const std::string &host_list);
+
+/** How to run a distributed sweep. */
+struct DistOptions
+{
+    unsigned shards = 2;
+
+    /** Relaunches allowed per failed shard before giving up. */
+    unsigned retries = 1;
+
+    /** Pool workers per worker process; 0 = cores / shards. */
+    unsigned jobsPerWorker = 0;
+
+    /** Worker binary (default: `smtsweep` beside this executable). */
+    std::string smtsweepPath;
+
+    /** Remote host list hook (must be empty until the backend lands). */
+    std::string hostList;
+
+    /** Live progress line on stderr. */
+    bool showProgress = true;
+
+    /** Measurement knobs + the shared store (cacheDir must be set);
+     *  forwarded to every worker and used for the merge pass. */
+    sweep::RunnerOptions ropts;
+};
+
+/** One shard's lifecycle as the coordinator saw it. */
+struct ShardStatus
+{
+    unsigned shard = 0;
+    unsigned attempts = 0;
+    bool succeeded = false;
+    std::size_t points = 0;
+    std::size_t cacheHits = 0;
+    double wallSeconds = 0.0;
+};
+
+/** A completed distributed sweep. */
+struct DistOutcome
+{
+    sweep::SweepOutcome merged;
+    std::vector<ShardStatus> shards;
+    std::size_t workerCacheHits = 0;
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Run `experiment` sharded opts.shards ways. Returns 0 on success
+ * (outcome filled, merge verified all-hits), nonzero after a shard
+ * exhausts its retries.
+ */
+int runDistributed(const sweep::NamedExperiment &experiment,
+                   const DistOptions &opts, DistOutcome &outcome);
+
+/** The machine-readable coordinator summary (BENCH_dist.json body). */
+sweep::Json distArtifact(const std::string &experiment,
+                         const DistOutcome &outcome);
+
+/**
+ * Audit a store against its manifest: per-digest done / in-progress /
+ * orphaned / pending classification (the coordinator's view of a
+ * sweep it did not run itself). Returns an exit code; prints to
+ * stdout, per-digest lines when `verbose`.
+ */
+int auditStore(const std::string &cache_dir, bool verbose);
+
+} // namespace smt::dist
+
+#endif // SMT_DIST_COORDINATOR_HH

@@ -1,0 +1,162 @@
+#include "dist/progress.hh"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sweep/json.hh"
+
+namespace smt::dist
+{
+
+ProgressWriter::ProgressWriter(const std::string &path, unsigned shard,
+                               std::size_t points_total)
+    : shard_(shard), pointsTotal_(points_total),
+      start_(std::chrono::steady_clock::now())
+{
+    if (path.empty())
+        return;
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr) {
+        smt_warn("cannot write progress file %s", path.c_str());
+        return;
+    }
+    append(0, 0, false);
+}
+
+ProgressWriter::~ProgressWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+ProgressWriter::update(std::size_t points_done, std::size_t cache_hits)
+{
+    append(points_done, cache_hits, false);
+}
+
+void
+ProgressWriter::finish(std::size_t points_done, std::size_t cache_hits)
+{
+    append(points_done, cache_hits, true);
+}
+
+void
+ProgressWriter::append(std::size_t points_done, std::size_t cache_hits,
+                       bool finished)
+{
+    if (file_ == nullptr)
+        return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - start_)
+            .count();
+    // One complete line per record, flushed, so readers never block on
+    // a half-written record (a torn tail parses as garbage and is
+    // skipped).
+    std::fprintf(file_,
+                 "{\"shard\":%u,\"done\":%zu,\"total\":%zu,\"hits\":%zu,"
+                 "\"wall\":%.3f,\"finished\":%s}\n",
+                 shard_, points_done, pointsTotal_, cache_hits, wall,
+                 finished ? "true" : "false");
+    std::fflush(file_);
+}
+
+bool
+readLatestProgress(const std::string &path, ProgressRecord &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    // The coordinator polls several times a second for the lifetime of
+    // a sweep, so read only a tail that is guaranteed to contain the
+    // newest complete record (records are one short line each) rather
+    // than re-parsing the whole ever-growing file. Seeking may land
+    // mid-line; that fragment simply fails to parse and is skipped.
+    constexpr std::streamoff kTailBytes = 4096;
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    in.seekg(size > kTailBytes ? size - kTailBytes : 0);
+
+    bool found = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        sweep::Json j;
+        if (!sweep::Json::parse(line, j)
+            || j.type() != sweep::Json::Type::Object || !j.has("done")
+            || !j.has("total"))
+            continue;
+        ProgressRecord rec;
+        rec.shard = j.has("shard")
+                        ? static_cast<unsigned>(j.at("shard").asUInt())
+                        : 0;
+        rec.pointsDone = j.at("done").asUInt();
+        rec.pointsTotal = j.at("total").asUInt();
+        rec.cacheHits = j.has("hits") ? j.at("hits").asUInt() : 0;
+        rec.wallSeconds = j.has("wall") ? j.at("wall").asDouble() : 0.0;
+        rec.finished = j.has("finished") && j.at("finished").asBool();
+        out = rec;
+        found = true;
+    }
+    return found;
+}
+
+double
+ProgressSummary::etaSeconds(double elapsed_seconds) const
+{
+    if (pointsDone == 0 || pointsTotal == 0)
+        return -1.0;
+    if (pointsDone >= pointsTotal)
+        return 0.0;
+    const double rate = static_cast<double>(pointsDone) / elapsed_seconds;
+    if (rate <= 0.0)
+        return -1.0;
+    return static_cast<double>(pointsTotal - pointsDone) / rate;
+}
+
+ProgressSummary
+aggregateProgress(const std::vector<ProgressRecord> &latest)
+{
+    ProgressSummary sum;
+    for (const ProgressRecord &rec : latest) {
+        sum.pointsDone += rec.pointsDone;
+        sum.pointsTotal += rec.pointsTotal;
+        sum.cacheHits += rec.cacheHits;
+        ++sum.shardsReporting;
+        if (rec.finished)
+            ++sum.shardsFinished;
+    }
+    return sum;
+}
+
+std::string
+progressPath(const std::string &store_dir, unsigned shard)
+{
+    return store_dir + "/progress/shard-" + std::to_string(shard)
+           + ".jsonl";
+}
+
+std::string
+renderProgressLine(const ProgressSummary &summary, unsigned shard_count,
+                   double elapsed_seconds)
+{
+    std::ostringstream line;
+    line << summary.pointsDone << "/" << summary.pointsTotal
+         << " points, " << summary.cacheHits << " hits, "
+         << summary.shardsFinished << "/" << shard_count
+         << " shards done, ";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1fs elapsed", elapsed_seconds);
+    line << buf;
+    const double eta = summary.etaSeconds(elapsed_seconds);
+    if (eta >= 0.0) {
+        std::snprintf(buf, sizeof buf, ", eta %.1fs", eta);
+        line << buf;
+    }
+    return line.str();
+}
+
+} // namespace smt::dist

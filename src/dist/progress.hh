@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Worker heartbeat records and their coordinator-side aggregation.
+ *
+ * Each worker appends one JSON line per settled point to its own
+ * progress file (`progress/shard-N.jsonl` under the shared store):
+ * points done, cache hits, wall seconds since the worker started, and
+ * a final `finished` record. One writer per file, flushed per line, so
+ * a coordinator (or a human with tail -f) can watch a sweep converge;
+ * a torn final line is simply ignored.
+ *
+ * The coordinator reads the latest record of every shard's file and
+ * folds them into a ProgressSummary: total points done, aggregate
+ * cache hits, and an ETA extrapolated from the observed rate.
+ */
+
+#ifndef SMT_DIST_PROGRESS_HH
+#define SMT_DIST_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace smt::dist
+{
+
+/** One heartbeat: a shard's position at a moment in time. */
+struct ProgressRecord
+{
+    unsigned shard = 0;
+    std::size_t pointsDone = 0;
+    std::size_t pointsTotal = 0;
+    std::size_t cacheHits = 0;
+    double wallSeconds = 0.0;
+    bool finished = false;
+};
+
+/** Appends a shard's heartbeat records to one JSONL file. */
+class ProgressWriter
+{
+  public:
+    /** Truncates `path` (a relaunched shard restarts its record
+     *  stream); an empty path makes every call a no-op. */
+    ProgressWriter(const std::string &path, unsigned shard,
+                   std::size_t points_total);
+    ~ProgressWriter();
+
+    ProgressWriter(const ProgressWriter &) = delete;
+    ProgressWriter &operator=(const ProgressWriter &) = delete;
+
+    void update(std::size_t points_done, std::size_t cache_hits);
+    void finish(std::size_t points_done, std::size_t cache_hits);
+
+  private:
+    void append(std::size_t points_done, std::size_t cache_hits,
+                bool finished);
+
+    std::FILE *file_ = nullptr;
+    unsigned shard_;
+    std::size_t pointsTotal_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** The newest well-formed record of a progress file, if any. */
+bool readLatestProgress(const std::string &path, ProgressRecord &out);
+
+/** Every shard's latest position, folded together. */
+struct ProgressSummary
+{
+    std::size_t pointsDone = 0;
+    std::size_t pointsTotal = 0;
+    std::size_t cacheHits = 0;
+    unsigned shardsReporting = 0;
+    unsigned shardsFinished = 0;
+
+    /** Remaining seconds extrapolated from `elapsed`; < 0 while no
+     *  point has settled yet (no rate to extrapolate from). */
+    double etaSeconds(double elapsed_seconds) const;
+};
+
+ProgressSummary
+aggregateProgress(const std::vector<ProgressRecord> &latest);
+
+/** The per-shard progress file path under a store directory. */
+std::string progressPath(const std::string &store_dir, unsigned shard);
+
+/** One-line human rendering ("12/16 points, 3 hits, 1/2 shards ..."). */
+std::string renderProgressLine(const ProgressSummary &summary,
+                               unsigned shard_count,
+                               double elapsed_seconds);
+
+} // namespace smt::dist
+
+#endif // SMT_DIST_PROGRESS_HH

@@ -1,0 +1,124 @@
+#include "dist/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "common/logging.hh"
+#include "dist/progress.hh"
+#include "sweep/digest.hh"
+
+namespace smt::dist
+{
+
+double
+estimatedPointCost(const sweep::SweepPoint &point)
+{
+    const MeasureOptions &opts = point.options;
+    const double cycles =
+        static_cast<double>(opts.warmupCycles + opts.cyclesPerRun);
+    const double width = point.threads >= 1 ? point.threads : 1;
+    return cycles * opts.runs * width;
+}
+
+ShardPlan
+planShards(const std::vector<sweep::SweepPoint> &points,
+           unsigned shard_count)
+{
+    smt_assert(shard_count >= 1, "cannot plan zero shards");
+
+    ShardPlan plan;
+    plan.shardCount = shard_count;
+    plan.members.resize(shard_count);
+    plan.cost.assign(shard_count, 0.0);
+
+    // Collect unique digests with their cost. Duplicate points (same
+    // digest) are one unit of work: the runner measures them once.
+    struct Unit
+    {
+        std::string digest;
+        double cost;
+    };
+    std::vector<Unit> units;
+    std::set<std::string> seen;
+    plan.digests.reserve(points.size());
+    for (const sweep::SweepPoint &p : points) {
+        std::string digest = sweep::measurementDigest(p.config, p.options);
+        if (seen.insert(digest).second)
+            units.push_back({digest, estimatedPointCost(p)});
+        plan.digests.push_back(std::move(digest));
+    }
+
+    // LPT over the digest set: costliest first (ties by digest, so the
+    // order — and hence the whole plan — is input-order independent),
+    // each onto the least-loaded shard (ties to the lowest index).
+    std::sort(units.begin(), units.end(), [](const Unit &a, const Unit &b) {
+        if (a.cost != b.cost)
+            return a.cost > b.cost;
+        return a.digest < b.digest;
+    });
+    for (const Unit &u : units) {
+        unsigned best = 0;
+        for (unsigned s = 1; s < shard_count; ++s)
+            if (plan.cost[s] < plan.cost[best])
+                best = s;
+        plan.shardOfDigest.emplace(u.digest, best);
+        plan.cost[best] += u.cost;
+    }
+
+    plan.shardOf.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const unsigned shard = plan.shardOfDigest.at(plan.digests[i]);
+        plan.shardOf.push_back(shard);
+        plan.members[shard].push_back(i);
+    }
+    return plan;
+}
+
+ShardRunResult
+runShard(const sweep::ExperimentSpec &spec,
+         const sweep::RunnerOptions &ropts, unsigned shard_index,
+         unsigned shard_count, const std::string &progress_path)
+{
+    smt_assert(shard_count >= 1 && shard_index < shard_count,
+               "shard %u/%u out of range", shard_index, shard_count);
+    if (ropts.cacheDir.empty())
+        smt_fatal("a shard run needs a shared store (--cache-dir): its "
+                  "results are merged from there, not printed");
+
+    const auto start = std::chrono::steady_clock::now();
+
+    const std::vector<sweep::SweepPoint> grid =
+        spec.expand(ropts.measure);
+    const ShardPlan plan = planShards(grid, shard_count);
+    std::vector<sweep::SweepPoint> mine;
+    mine.reserve(plan.members[shard_index].size());
+    for (std::size_t idx : plan.members[shard_index])
+        mine.push_back(grid[idx]);
+
+    ProgressWriter writer(progress_path, shard_index, mine.size());
+    sweep::RunnerOptions shard_opts = ropts;
+    shard_opts.onProgress = [&](const sweep::RunProgress &p) {
+        writer.update(p.pointsDone, p.cacheHits);
+    };
+
+    const std::vector<sweep::PointResult> results =
+        sweep::runPoints(mine, shard_opts);
+
+    ShardRunResult out;
+    out.points = results.size();
+    for (const sweep::PointResult &r : results) {
+        if (r.cached)
+            ++out.cacheHits;
+        else
+            ++out.cacheMisses;
+    }
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - start)
+            .count();
+    writer.finish(out.points, out.cacheHits);
+    return out;
+}
+
+} // namespace smt::dist

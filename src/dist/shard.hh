@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The shard planner: deterministically partition an expanded sweep
+ * grid into N disjoint shards of roughly equal simulation cost.
+ *
+ * The unit of work is the measurement digest — the same handle that
+ * keys the result store — so the partition is a pure function of the
+ * *set* of digests in the grid: stable under point reordering, across
+ * processes, and across hosts. Every process of a distributed sweep
+ * (coordinator, each worker, the merge pass) re-derives the same plan
+ * from the spec instead of shipping assignments around.
+ *
+ * Planning is greedy LPT (longest processing time first): unique
+ * digests sorted by descending estimated cost (cycles x runs, scaled
+ * by thread count — wider machines simulate more work per cycle),
+ * ties broken by digest, each assigned to the least-loaded shard.
+ * Duplicate points share their digest's shard, so no two shards ever
+ * measure the same machine.
+ */
+
+#ifndef SMT_DIST_SHARD_HH
+#define SMT_DIST_SHARD_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hh"
+#include "sweep/spec.hh"
+
+namespace smt::dist
+{
+
+/** Relative simulation cost of one grid point. */
+double estimatedPointCost(const sweep::SweepPoint &point);
+
+/** A deterministic partition of a grid into disjoint shards. */
+struct ShardPlan
+{
+    unsigned shardCount = 0;
+
+    /** Shard owning each input point (parallel to the input vector). */
+    std::vector<unsigned> shardOf;
+
+    /** Each input point's measurement digest (computed while
+     *  planning; callers reuse it instead of re-hashing the grid). */
+    std::vector<std::string> digests;
+
+    /** Point indices per shard, in input order. */
+    std::vector<std::vector<std::size_t>> members;
+
+    /** Estimated cost per shard (duplicates counted once). */
+    std::vector<double> cost;
+
+    /** The order-independent digest -> shard assignment. */
+    std::map<std::string, unsigned> shardOfDigest;
+};
+
+/** Partition `points` into `shard_count` disjoint shards. */
+ShardPlan planShards(const std::vector<sweep::SweepPoint> &points,
+                     unsigned shard_count);
+
+/** One worker's share of a shard run. */
+struct ShardRunResult
+{
+    std::size_t points = 0;
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Run shard `shard_index` of `shard_count` of an experiment into the
+ * shared store (ropts.cacheDir must name it). Expands and plans
+ * locally — identical inputs yield identical plans in every worker.
+ * `progress_path`, when non-empty, receives JSONL heartbeat records
+ * a coordinator can aggregate (see dist/progress.hh).
+ */
+ShardRunResult runShard(const sweep::ExperimentSpec &spec,
+                        const sweep::RunnerOptions &ropts,
+                        unsigned shard_index, unsigned shard_count,
+                        const std::string &progress_path = {});
+
+} // namespace smt::dist
+
+#endif // SMT_DIST_SHARD_HH

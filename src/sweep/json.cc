@@ -1,13 +1,20 @@
 #include "sweep/json.hh"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "common/logging.hh"
+
+namespace fs = std::filesystem;
 
 namespace smt::sweep
 {
@@ -548,6 +555,48 @@ Json::parseOrDie(const std::string &text)
     if (!parse(text, value))
         smt_fatal("malformed JSON input (%zu bytes)", text.size());
     return value;
+}
+
+bool
+Json::readFile(const std::string &path, Json &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str(), out);
+}
+
+bool
+Json::writeFileAtomic(const std::string &path, int indent) const
+{
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            smt_warn("cannot write %s", tmp.c_str());
+            return false;
+        }
+        out << dump(indent) << '\n';
+        if (!out.good()) {
+            smt_warn("short write to %s", tmp.c_str());
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        smt_warn("cannot rename %s to %s: %s", tmp.c_str(), path.c_str(),
+                 ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
 }
 
 } // namespace smt::sweep

@@ -92,6 +92,19 @@ class Json
     /** Parse input that must be well-formed (fatal otherwise). */
     static Json parseOrDie(const std::string &text);
 
+    /**
+     * Write `dump(indent)` plus a newline to `path` atomically (temp
+     * file + rename), so concurrent readers and same-content writers
+     * never observe a torn file. False on any I/O failure (the temp
+     * file is cleaned up; nothing is ever left half-written at
+     * `path`).
+     */
+    bool writeFileAtomic(const std::string &path, int indent = 2) const;
+
+    /** Slurp and parse a file; false (out untouched) when the file is
+     *  unreadable or malformed. */
+    static bool readFile(const std::string &path, Json &out);
+
   private:
     explicit Json(Type t) : type_(t) {}
 

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +18,26 @@ namespace fs = std::filesystem;
 
 namespace smt::sweep
 {
+
+namespace
+{
+
+/** Entry filenames are <32 lowercase hex digits>.json; everything else
+ *  in the directory (markers, manifest, temp files) is not an entry. */
+bool
+looksLikeDigest(const std::string &stem)
+{
+    if (stem.size() != 32)
+        return false;
+    for (char c : stem) {
+        if (!std::isdigit(static_cast<unsigned char>(c))
+            && (c < 'a' || c > 'f'))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
 {
@@ -36,14 +58,8 @@ ResultCache::entryPath(const std::string &digest) const
 std::optional<SimStats>
 ResultCache::lookup(const std::string &digest) const
 {
-    std::ifstream in(entryPath(digest));
-    if (!in)
-        return std::nullopt;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-
     Json entry;
-    if (!Json::parse(buffer.str(), entry)
+    if (!Json::readFile(entryPath(digest), entry)
         || entry.type() != Json::Type::Object || !entry.has("digest")
         || !entry.has("stats") || entry.at("digest").asString() != digest)
         return std::nullopt;
@@ -63,46 +79,33 @@ ResultCache::store(const std::string &digest, const SmtConfig &cfg,
     entry.set("key", measurementKey(cfg, opts));
     entry.set("stats", toJson(stats));
 
-    // Temp-then-rename keeps readers (and concurrent writers of the
-    // same digest, which by construction write identical bytes) from
-    // ever seeing a torn entry.
-    const std::string path = entryPath(digest);
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << ::getpid();
-    const std::string tmp = tmp_name.str();
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
-            smt_warn("result cache: cannot write %s", tmp.c_str());
-            return;
-        }
-        out << entry.dump(2) << '\n';
-        if (!out.good()) {
-            smt_warn("result cache: short write to %s", tmp.c_str());
-            std::error_code ec;
-            fs::remove(tmp, ec);
-            return;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        smt_warn("result cache: cannot rename %s: %s", tmp.c_str(),
-                 ec.message().c_str());
-        fs::remove(tmp, ec);
-    }
+    // Atomic temp-then-rename keeps readers (and concurrent writers of
+    // the same digest, which by construction write identical bytes)
+    // from ever seeing a torn entry. A failed write is a lost cache
+    // entry, not an error.
+    entry.writeFileAtomic(entryPath(digest));
 }
 
 std::size_t
 ResultCache::entryCount() const
 {
-    std::size_t n = 0;
+    return listDigests().size();
+}
+
+std::vector<std::string>
+ResultCache::listDigests() const
+{
+    std::vector<std::string> digests;
     std::error_code ec;
     for (const auto &e : fs::directory_iterator(dir_, ec)) {
-        if (e.path().extension() == ".json")
-            ++n;
+        if (e.path().extension() != ".json")
+            continue;
+        std::string stem = e.path().stem().string();
+        if (looksLikeDigest(stem))
+            digests.push_back(std::move(stem));
     }
-    return n;
+    std::sort(digests.begin(), digests.end());
+    return digests;
 }
 
 } // namespace smt::sweep

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "config/config.hh"
 #include "sim/mix_runner.hh"
@@ -45,6 +46,10 @@ class ResultCache
 
     /** Number of entries currently on disk. */
     std::size_t entryCount() const;
+
+    /** The digests of every entry on disk, sorted. Marker and manifest
+     *  files sharing the directory are not entries. */
+    std::vector<std::string> listDigests() const;
 
   private:
     std::string entryPath(const std::string &digest) const;

@@ -1,0 +1,166 @@
+#include "sweep/result_store.hh"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace smt::sweep
+{
+
+namespace
+{
+
+std::string
+thisHost()
+{
+    char name[256] = {};
+    if (::gethostname(name, sizeof name - 1) != 0)
+        return "unknown";
+    return name;
+}
+
+std::optional<Json>
+readJsonFile(const std::string &path)
+{
+    Json j;
+    if (!Json::readFile(path, j))
+        return std::nullopt;
+    return j;
+}
+
+/** True when `pid` is known dead on this host. A marker we cannot
+ *  probe (foreign host, permission error) is presumed alive. */
+bool
+pidIsDead(long pid)
+{
+    if (pid <= 0)
+        return true;
+    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+}
+
+} // namespace
+
+const char *
+toString(WorkState state)
+{
+    switch (state) {
+    case WorkState::Done:
+        return "done";
+    case WorkState::InProgress:
+        return "in-progress";
+    case WorkState::Orphaned:
+        return "orphaned";
+    case WorkState::Pending:
+        return "pending";
+    }
+    smt_panic("invalid WorkState %d", static_cast<int>(state));
+}
+
+LocalDirStore::LocalDirStore(const std::string &dir) : cache_(dir) {}
+
+std::string
+LocalDirStore::markerPath(const std::string &digest) const
+{
+    return cache_.dir() + "/" + digest + ".inprogress";
+}
+
+std::string
+LocalDirStore::manifestPath() const
+{
+    return cache_.dir() + "/sweep-manifest.json";
+}
+
+std::optional<SimStats>
+LocalDirStore::lookup(const std::string &digest) const
+{
+    return cache_.lookup(digest);
+}
+
+void
+LocalDirStore::store(const std::string &digest, const SmtConfig &cfg,
+                     const MeasureOptions &opts, const SimStats &stats)
+{
+    cache_.store(digest, cfg, opts, stats);
+    clearInProgress(digest);
+}
+
+void
+LocalDirStore::markInProgress(const std::string &digest)
+{
+    Json marker = Json::object();
+    marker.set("pid", Json(static_cast<std::uint64_t>(::getpid())));
+    marker.set("host", Json(thisHost()));
+    marker.writeFileAtomic(markerPath(digest));
+}
+
+void
+LocalDirStore::clearInProgress(const std::string &digest)
+{
+    std::error_code ec;
+    fs::remove(markerPath(digest), ec);
+}
+
+WorkState
+LocalDirStore::state(const std::string &digest) const
+{
+    if (cache_.lookup(digest).has_value())
+        return WorkState::Done;
+
+    const std::string marker_path = markerPath(digest);
+    std::error_code ec;
+    if (!fs::exists(marker_path, ec))
+        return WorkState::Pending;
+    // A marker that exists but is malformed is a writer that crashed
+    // mid-write: orphaned, not pending.
+    const std::optional<Json> marker = readJsonFile(marker_path);
+    if (!marker.has_value() || marker->type() != Json::Type::Object
+        || !marker->has("pid"))
+        return WorkState::Orphaned;
+
+    const long pid = static_cast<long>(marker->at("pid").asUInt());
+    const std::string host =
+        marker->has("host") ? marker->at("host").asString() : "unknown";
+    if (host == thisHost() && pidIsDead(pid))
+        return WorkState::Orphaned;
+    return WorkState::InProgress;
+}
+
+std::vector<std::string>
+LocalDirStore::storedDigests() const
+{
+    return cache_.listDigests();
+}
+
+void
+LocalDirStore::writeManifest(const Json &manifest)
+{
+    manifest.writeFileAtomic(manifestPath());
+}
+
+std::optional<Json>
+LocalDirStore::readManifest() const
+{
+    return readJsonFile(manifestPath());
+}
+
+std::string
+LocalDirStore::description() const
+{
+    return "dir:" + cache_.dir();
+}
+
+std::unique_ptr<ResultStore>
+openLocalStore(const std::string &dir)
+{
+    return std::make_unique<LocalDirStore>(dir);
+}
+
+} // namespace smt::sweep

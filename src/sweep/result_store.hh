@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The shared result store: the ResultCache hardened for concurrent
+ * multi-process writers, behind an interface a remote backend can
+ * implement later.
+ *
+ * On top of the cache's atomic temp+rename entry writes, the store
+ * adds two pieces of coordinator-visible state:
+ *
+ *  - crash-safe in-progress markers: a worker about to measure digest
+ *    D atomically writes D.inprogress ({pid, host}); finishing the
+ *    measurement stores the entry and removes the marker. A marker
+ *    whose pid is dead (same host) is an *orphan* — the worker
+ *    crashed mid-measurement — so a coordinator can tell "someone is
+ *    on it" from "this work was abandoned". Markers are advisory
+ *    observability, not locks: duplicate writers of the same digest
+ *    produce identical bytes by construction.
+ *
+ *  - a store-level manifest: the coordinator records the full expected
+ *    digest set (with shard assignments) before launching workers, so
+ *    any later process can audit done/in-progress/orphaned/pending
+ *    work without re-expanding the experiment.
+ */
+
+#ifndef SMT_SWEEP_RESULT_STORE_HH
+#define SMT_SWEEP_RESULT_STORE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/config.hh"
+#include "sim/mix_runner.hh"
+#include "stats/stats.hh"
+#include "sweep/json.hh"
+#include "sweep/result_cache.hh"
+
+namespace smt::sweep
+{
+
+/** What the store knows about one unit of work (one digest). */
+enum class WorkState
+{
+    Done,       ///< a well-formed entry is stored.
+    InProgress, ///< marked by a (presumed live) worker.
+    Orphaned,   ///< marked, but the marking process is dead.
+    Pending,    ///< no entry, no marker.
+};
+
+const char *toString(WorkState state);
+
+/** A digest-addressed store of measurement results shared by every
+ *  worker of a distributed sweep. */
+class ResultStore
+{
+  public:
+    virtual ~ResultStore() = default;
+
+    /** The stats stored under `digest`, if present and well-formed. */
+    virtual std::optional<SimStats>
+    lookup(const std::string &digest) const = 0;
+
+    /** Persist a measurement and clear any in-progress marker. */
+    virtual void store(const std::string &digest, const SmtConfig &cfg,
+                       const MeasureOptions &opts,
+                       const SimStats &stats) = 0;
+
+    /** Advisory claim: record that this process is measuring `digest`. */
+    virtual void markInProgress(const std::string &digest) = 0;
+
+    /** Drop this digest's marker (normally done by store()). */
+    virtual void clearInProgress(const std::string &digest) = 0;
+
+    /** Classify one digest's work. */
+    virtual WorkState state(const std::string &digest) const = 0;
+
+    /** Digests of every stored result, sorted. */
+    virtual std::vector<std::string> storedDigests() const = 0;
+
+    /** Record / fetch the coordinator's expected-work manifest. */
+    virtual void writeManifest(const Json &manifest) = 0;
+    virtual std::optional<Json> readManifest() const = 0;
+
+    /** Human-readable locator, e.g. "dir:.smtsweep-cache". */
+    virtual std::string description() const = 0;
+};
+
+/**
+ * The local-directory implementation: entries via ResultCache, markers
+ * as <digest>.inprogress files, the manifest as sweep-manifest.json.
+ */
+class LocalDirStore final : public ResultStore
+{
+  public:
+    explicit LocalDirStore(const std::string &dir);
+
+    std::optional<SimStats>
+    lookup(const std::string &digest) const override;
+    void store(const std::string &digest, const SmtConfig &cfg,
+               const MeasureOptions &opts, const SimStats &stats) override;
+    void markInProgress(const std::string &digest) override;
+    void clearInProgress(const std::string &digest) override;
+    WorkState state(const std::string &digest) const override;
+    std::vector<std::string> storedDigests() const override;
+    void writeManifest(const Json &manifest) override;
+    std::optional<Json> readManifest() const override;
+    std::string description() const override;
+
+    const std::string &dir() const { return cache_.dir(); }
+
+  private:
+    std::string markerPath(const std::string &digest) const;
+    std::string manifestPath() const;
+
+    ResultCache cache_;
+};
+
+/** Open (creating if needed) the local store rooted at `dir`. */
+std::unique_ptr<ResultStore> openLocalStore(const std::string &dir);
+
+} // namespace smt::sweep
+
+#endif // SMT_SWEEP_RESULT_STORE_HH

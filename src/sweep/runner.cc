@@ -4,11 +4,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <future>
-#include <optional>
+#include <memory>
 
 #include "common/logging.hh"
 #include "sweep/digest.hh"
-#include "sweep/result_cache.hh"
+#include "sweep/result_store.hh"
 #include "sweep/thread_pool.hh"
 
 namespace smt::sweep
@@ -58,11 +58,19 @@ SweepOutcome::sweepFor(const std::vector<std::size_t> &axis_choice,
 std::vector<PointResult>
 runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
 {
-    std::optional<ResultCache> cache;
+    if (ropts.jobs > 0)
+        ThreadPool::requestGlobalWorkers(ropts.jobs);
+
+    std::unique_ptr<ResultStore> store;
     if (!ropts.cacheDir.empty())
-        cache.emplace(ropts.cacheDir);
+        store = openLocalStore(ropts.cacheDir);
 
     std::vector<PointResult> results(points.size());
+    std::size_t done = 0, hits = 0;
+    const auto report_progress = [&] {
+        if (ropts.onProgress)
+            ropts.onProgress(RunProgress{done, points.size(), hits});
+    };
 
     // Pass 1: resolve cache hits and queue every rotation run of every
     // miss. Identical points (same digest) are scheduled once and
@@ -84,10 +92,13 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         result.point = point;
         result.digest = measurementDigest(point.config, point.options);
 
-        if (cache) {
-            if (std::optional<SimStats> hit = cache->lookup(result.digest)) {
+        if (store) {
+            if (std::optional<SimStats> hit = store->lookup(result.digest)) {
                 result.data.stats = std::move(*hit);
                 result.cached = true;
+                ++done;
+                ++hits;
+                report_progress();
                 if (ropts.verbose)
                     smt_inform("sweep: [hit]  %s (%s)",
                                point.label.c_str(), result.digest.c_str());
@@ -107,6 +118,10 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
                 break;
             }
         }
+        // Advisory claim so a coordinator can tell in-progress (or,
+        // after a crash, orphaned) work from pending work.
+        if (store && p.duplicateOf == SIZE_MAX)
+            store->markInProgress(result.digest);
         if (p.duplicateOf == SIZE_MAX && ropts.measure.parallel) {
             p.runs.reserve(point.options.runs);
             // The SweepPoint lives in the caller's vector for the whole
@@ -130,6 +145,8 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         PointResult &result = results[p.index];
         if (p.duplicateOf != SIZE_MAX) {
             result.data = results[p.duplicateOf].data;
+            ++done;
+            report_progress();
             continue;
         }
         const SweepPoint &point = result.point;
@@ -141,9 +158,11 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             for (auto &f : p.runs)
                 result.data.stats.add(pool.wait(std::move(f)));
         }
-        if (cache)
-            cache->store(result.digest, point.config, point.options,
+        if (store)
+            store->store(result.digest, point.config, point.options,
                          result.data.stats);
+        ++done;
+        report_progress();
     }
     return results;
 }
@@ -207,12 +226,8 @@ outcomeArtifact(const std::vector<SweepOutcome> &outcomes)
 void
 writeJsonFile(const std::string &path, const Json &j)
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
+    if (!j.writeFileAtomic(path))
         smt_fatal("cannot write %s", path.c_str());
-    out << j.dump(2) << '\n';
-    if (!out.good())
-        smt_fatal("short write to %s", path.c_str());
 }
 
 } // namespace smt::sweep

@@ -9,6 +9,8 @@
 #ifndef SMT_SWEEP_RUNNER_HH
 #define SMT_SWEEP_RUNNER_HH
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,14 @@
 
 namespace smt::sweep
 {
+
+/** A running sweep's position, reported as each point settles. */
+struct RunProgress
+{
+    std::size_t pointsDone = 0;
+    std::size_t pointsTotal = 0;
+    std::size_t cacheHits = 0;
+};
 
 /** How to execute a sweep. */
 struct RunnerOptions
@@ -36,6 +46,14 @@ struct RunnerOptions
 
     /** Print per-point scheduling/caching progress to stderr. */
     bool verbose = false;
+
+    /** Worker threads for the shared pool (the --jobs flag); 0 keeps
+     *  the pool's own default (SMTSIM_POOL_WORKERS or the hardware). */
+    unsigned jobs = 0;
+
+    /** Invoked after each point settles (cache hit or measured) —
+     *  distributed workers append heartbeat records from here. */
+    std::function<void(const RunProgress &)> onProgress;
 };
 
 /** Runner options honouring the SMTSIM_* measurement environment and

@@ -10,6 +10,10 @@ namespace smt::sweep
 namespace
 {
 
+/** Worker count requestGlobalWorkers() asked for; 0 = none requested. */
+unsigned g_requested_workers = 0;
+bool g_global_created = false;
+
 unsigned
 defaultWorkerCount()
 {
@@ -53,8 +57,26 @@ ThreadPool::global()
     // destructor could still be measuring, and a worker-less forked
     // child (death tests, daemonized callers) must not try to join
     // threads fork didn't copy. The OS reclaims the workers at exit.
-    static ThreadPool *pool = new ThreadPool;
+    static ThreadPool *pool = [] {
+        g_global_created = true;
+        return new ThreadPool(g_requested_workers);
+    }();
     return *pool;
+}
+
+void
+ThreadPool::requestGlobalWorkers(unsigned workers)
+{
+    if (workers == 0)
+        return;
+    if (g_global_created) {
+        if (global().workerCount() != workers)
+            smt_warn("thread pool already running %u workers; "
+                     "request for %u ignored",
+                     global().workerCount(), workers);
+        return;
+    }
+    g_requested_workers = workers;
 }
 
 bool

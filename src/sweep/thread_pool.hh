@@ -49,6 +49,14 @@ class ThreadPool
      */
     static ThreadPool &global();
 
+    /**
+     * Request the worker count global() is built with (the --jobs
+     * flag; beats the environment). Takes effect only before the
+     * first global() use — a disagreeing later request is ignored
+     * with a warning, because a live pool cannot be resized.
+     */
+    static void requestGlobalWorkers(unsigned workers);
+
     unsigned workerCount() const { return workers_; }
 
     /** Schedule a callable; returns a future for its result. */

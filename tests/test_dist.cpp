@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the distributed sweep subsystem: shard planning
+ * (disjointness, completeness, stability, balance), the hardened
+ * result store (in-progress markers, orphan detection, manifest),
+ * progress aggregation, and the acceptance bar — a sharded run merged
+ * from a shared store is bit-identical to a serial sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+
+#include "dist/coordinator.hh"
+#include "dist/progress.hh"
+#include "dist/shard.hh"
+#include "sweep/digest.hh"
+#include "sweep/experiments.hh"
+#include "sweep/result_store.hh"
+#include "sweep/runner.hh"
+#include "sweep/serialize.hh"
+
+namespace smt::dist
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using sweep::NamedExperiment;
+using sweep::SweepPoint;
+
+/** Tiny budgets so a whole grid measures in well under a second. */
+MeasureOptions
+tinyOptions()
+{
+    MeasureOptions opts;
+    opts.cyclesPerRun = 1200;
+    opts.warmupCycles = 300;
+    opts.runs = 2;
+    return opts;
+}
+
+/** A scratch directory removed when the test ends. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_((fs::temp_directory_path()
+                 / ("smtdist_test_" + tag + "_"
+                    + std::to_string(std::random_device{}())))
+                    .string())
+    {
+        fs::create_directories(path_);
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::vector<SweepPoint>
+fig5Grid()
+{
+    const NamedExperiment *fig5 = sweep::findExperiment("fig5");
+    EXPECT_NE(fig5, nullptr);
+    return fig5->spec.expand(tinyOptions());
+}
+
+// ---- Shard planning --------------------------------------------------------
+
+TEST(ShardPlan, PartitionIsDisjointAndComplete)
+{
+    const std::vector<SweepPoint> grid = fig5Grid();
+    for (unsigned shards : {1u, 2u, 3u, 7u}) {
+        const ShardPlan plan = planShards(grid, shards);
+        ASSERT_EQ(plan.shardOf.size(), grid.size());
+        ASSERT_EQ(plan.members.size(), shards);
+
+        // Every point is owned by exactly one shard, and the members
+        // lists are exactly the inverse of shardOf.
+        std::set<std::size_t> seen;
+        for (unsigned s = 0; s < shards; ++s) {
+            for (std::size_t idx : plan.members[s]) {
+                EXPECT_EQ(plan.shardOf[idx], s);
+                EXPECT_TRUE(seen.insert(idx).second)
+                    << "point " << idx << " in two shards";
+            }
+        }
+        EXPECT_EQ(seen.size(), grid.size());
+    }
+}
+
+TEST(ShardPlan, StableAcrossRunsAndPointOrderings)
+{
+    const std::vector<SweepPoint> grid = fig5Grid();
+    const ShardPlan plan = planShards(grid, 3);
+    EXPECT_EQ(planShards(grid, 3).shardOfDigest, plan.shardOfDigest);
+
+    // Reversing and shuffling the points must not move any digest to
+    // a different shard: the plan is a function of the digest set.
+    std::vector<SweepPoint> reversed(grid.rbegin(), grid.rend());
+    EXPECT_EQ(planShards(reversed, 3).shardOfDigest, plan.shardOfDigest);
+
+    std::vector<SweepPoint> shuffled = grid;
+    std::mt19937 rng(7);
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    EXPECT_EQ(planShards(shuffled, 3).shardOfDigest, plan.shardOfDigest);
+
+    // And the per-point ownership follows each point's digest.
+    const ShardPlan rplan = planShards(reversed, 3);
+    for (std::size_t i = 0; i < reversed.size(); ++i) {
+        const std::string digest = sweep::measurementDigest(
+            reversed[i].config, reversed[i].options);
+        EXPECT_EQ(rplan.shardOf[i], plan.shardOfDigest.at(digest));
+    }
+}
+
+TEST(ShardPlan, BalancesEstimatedCost)
+{
+    const std::vector<SweepPoint> grid = fig5Grid();
+    const ShardPlan plan = planShards(grid, 4);
+
+    // The greedy LPT bound: no two bins differ by more than the
+    // largest single unit of work.
+    double max_unit = 0.0;
+    for (const SweepPoint &p : grid)
+        max_unit = std::max(max_unit, estimatedPointCost(p));
+    const auto [lo, hi] =
+        std::minmax_element(plan.cost.begin(), plan.cost.end());
+    EXPECT_LE(*hi - *lo, max_unit);
+    EXPECT_GT(*lo, 0.0) << "a shard was left without work";
+}
+
+TEST(ShardPlan, DuplicateDigestsShareAShard)
+{
+    std::vector<SweepPoint> grid = fig5Grid();
+    // Append a copy of an existing point: same digest, so it must
+    // land in its twin's shard rather than being balanced separately.
+    grid.push_back(grid[3]);
+    const ShardPlan plan = planShards(grid, 5);
+    EXPECT_EQ(plan.shardOf.back(), plan.shardOf[3]);
+}
+
+TEST(ShardPlan, MoreShardsThanWorkLeavesTrailingShardsEmpty)
+{
+    const NamedExperiment *smoke = sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+    const std::vector<SweepPoint> grid = smoke->spec.expand(tinyOptions());
+    const ShardPlan plan = planShards(grid, grid.size() + 3);
+    std::size_t populated = 0;
+    for (const auto &members : plan.members)
+        populated += members.empty() ? 0 : 1;
+    EXPECT_EQ(populated, grid.size());
+}
+
+// ---- Result store ----------------------------------------------------------
+
+TEST(ResultStore, MarkersDriveWorkStates)
+{
+    TempDir dir("store");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Pending);
+
+    store->markInProgress(digest);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::InProgress);
+
+    // store() persists the entry and clears the marker.
+    const DataPoint measured = measure(cfg, opts);
+    store->store(digest, cfg, opts, measured.stats);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Done);
+    EXPECT_FALSE(
+        fs::exists(dir.path() + "/" + digest + ".inprogress"));
+
+    const std::optional<SimStats> hit = store->lookup(digest);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(sweep::toJson(*hit).dump(),
+              sweep::toJson(measured.stats).dump());
+    EXPECT_EQ(store->storedDigests(),
+              std::vector<std::string>{digest});
+}
+
+TEST(ResultStore, DeadWritersAreOrphans)
+{
+    TempDir dir("orphan");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    const std::string digest(32, 'b');
+
+    // A marker left by a crashed process on this host: its pid cannot
+    // be alive (Linux pids are bounded well below this value).
+    char host[256] = {};
+    ASSERT_EQ(::gethostname(host, sizeof host - 1), 0);
+    {
+        std::ofstream marker(dir.path() + "/" + digest + ".inprogress");
+        marker << "{\"pid\": 999999999, \"host\": \"" << host << "\"}";
+    }
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Orphaned);
+
+    // A marker from a foreign host cannot be probed: presumed live.
+    {
+        std::ofstream marker(dir.path() + "/" + digest + ".inprogress");
+        marker << "{\"pid\": 999999999, \"host\": \"elsewhere\"}";
+    }
+    EXPECT_EQ(store->state(digest), sweep::WorkState::InProgress);
+
+    // A torn marker (crash mid-write) is an orphan, not an error.
+    {
+        std::ofstream marker(dir.path() + "/" + digest + ".inprogress");
+        marker << "{\"pid\": 99";
+    }
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Orphaned);
+}
+
+TEST(ResultStore, ManifestRoundTripsAndIsNotAnEntry)
+{
+    TempDir dir("manifest");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    EXPECT_FALSE(store->readManifest().has_value());
+
+    sweep::Json manifest = sweep::Json::object();
+    manifest.set("experiment", sweep::Json("smoke"));
+    manifest.set("shardCount", sweep::Json(2u));
+    store->writeManifest(manifest);
+
+    const std::optional<sweep::Json> read = store->readManifest();
+    ASSERT_TRUE(read.has_value());
+    EXPECT_TRUE(*read == manifest);
+
+    // The manifest file must not read as a cached result.
+    EXPECT_TRUE(store->storedDigests().empty());
+}
+
+// ---- Progress --------------------------------------------------------------
+
+TEST(Progress, WriterRecordsAndReaderAggregates)
+{
+    TempDir dir("progress");
+    const std::string p0 = dir.path() + "/shard-0.jsonl";
+    const std::string p1 = dir.path() + "/shard-1.jsonl";
+
+    {
+        ProgressWriter w0(p0, 0, 3);
+        w0.update(1, 1);
+        w0.update(2, 1);
+        ProgressWriter w1(p1, 1, 2);
+        w1.update(1, 0);
+        w1.finish(2, 0);
+    }
+
+    ProgressRecord r0, r1;
+    ASSERT_TRUE(readLatestProgress(p0, r0));
+    ASSERT_TRUE(readLatestProgress(p1, r1));
+    EXPECT_EQ(r0.pointsDone, 2u);
+    EXPECT_EQ(r0.pointsTotal, 3u);
+    EXPECT_EQ(r0.cacheHits, 1u);
+    EXPECT_FALSE(r0.finished);
+    EXPECT_TRUE(r1.finished);
+
+    const ProgressSummary sum = aggregateProgress({r0, r1});
+    EXPECT_EQ(sum.pointsDone, 4u);
+    EXPECT_EQ(sum.pointsTotal, 5u);
+    EXPECT_EQ(sum.cacheHits, 1u);
+    EXPECT_EQ(sum.shardsReporting, 2u);
+    EXPECT_EQ(sum.shardsFinished, 1u);
+
+    // 4 points in 8s -> 2s per point -> 1 left -> eta 2s.
+    EXPECT_NEAR(sum.etaSeconds(8.0), 2.0, 1e-9);
+    EXPECT_FALSE(renderProgressLine(sum, 2, 8.0).empty());
+}
+
+TEST(Progress, TornTrailingLinesAreIgnored)
+{
+    TempDir dir("torn");
+    const std::string path = dir.path() + "/shard-0.jsonl";
+    {
+        ProgressWriter w(path, 0, 4);
+        w.update(3, 2);
+    }
+    { // Simulate a crash mid-append.
+        std::ofstream out(path, std::ios::app);
+        out << "{\"shard\":0,\"done\":4,\"tot";
+    }
+    ProgressRecord rec;
+    ASSERT_TRUE(readLatestProgress(path, rec));
+    EXPECT_EQ(rec.pointsDone, 3u);
+
+    ProgressSummary empty;
+    EXPECT_LT(empty.etaSeconds(1.0), 0.0); // no rate yet -> unknown.
+    EXPECT_FALSE(readLatestProgress(dir.path() + "/absent.jsonl", rec));
+}
+
+// ---- The acceptance bar ----------------------------------------------------
+
+TEST(Dist, ShardedRunMergedFromSharedStoreMatchesSerialBitForBit)
+{
+    const NamedExperiment *smoke = sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+
+    // The reference: a serial, cache-less sweep.
+    sweep::RunnerOptions serial;
+    serial.measure = tinyOptions();
+    serial.measure.parallel = false;
+    const sweep::SweepOutcome reference =
+        runSweep(smoke->spec, serial);
+
+    // Two shard runs (the worker protocol, in-process) into one store.
+    TempDir dir("merge");
+    sweep::RunnerOptions shard_opts;
+    shard_opts.measure = tinyOptions();
+    shard_opts.cacheDir = dir.path();
+    const ShardRunResult s0 = runShard(smoke->spec, shard_opts, 0, 2);
+    const ShardRunResult s1 = runShard(smoke->spec, shard_opts, 1, 2);
+    EXPECT_EQ(s0.points + s1.points, reference.points.size());
+    EXPECT_EQ(s0.cacheHits + s1.cacheHits, 0u);
+
+    // The merge: a pure replay of the shared store.
+    sweep::RunnerOptions merge_opts = shard_opts;
+    merge_opts.requireCached = true; // would abort on any miss.
+    const sweep::SweepOutcome merged =
+        runSweep(smoke->spec, merge_opts);
+    EXPECT_EQ(merged.cacheHits, merged.points.size());
+    EXPECT_EQ(merged.cacheMisses, 0u);
+
+    ASSERT_EQ(merged.points.size(), reference.points.size());
+    for (std::size_t i = 0; i < merged.points.size(); ++i) {
+        EXPECT_EQ(merged.points[i].digest, reference.points[i].digest);
+        EXPECT_EQ(sweep::toJson(merged.points[i].data.stats).dump(),
+                  sweep::toJson(reference.points[i].data.stats).dump());
+    }
+}
+
+TEST(Dist, ShardWorkersReportProgressTheCoordinatorCanRead)
+{
+    const NamedExperiment *smoke = sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+
+    TempDir dir("heartbeat");
+    fs::create_directories(dir.path() + "/progress");
+    sweep::RunnerOptions ropts;
+    ropts.measure = tinyOptions();
+    ropts.cacheDir = dir.path();
+
+    const std::string path = progressPath(dir.path(), 0);
+    const ShardRunResult r = runShard(smoke->spec, ropts, 0, 2, path);
+
+    ProgressRecord rec;
+    ASSERT_TRUE(readLatestProgress(path, rec));
+    EXPECT_TRUE(rec.finished);
+    EXPECT_EQ(rec.pointsDone, r.points);
+    EXPECT_EQ(rec.pointsTotal, r.points);
+    EXPECT_EQ(rec.cacheHits, r.cacheHits);
+}
+
+} // namespace
+} // namespace smt::dist

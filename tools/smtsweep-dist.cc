@@ -1,0 +1,223 @@
+/**
+ * @file
+ * smtsweep-dist: run a named experiment sharded across worker
+ * processes sharing one result store.
+ *
+ *   smtsweep-dist --experiment smoke --shards 2
+ *       partition the smoke grid into two cost-balanced shards, run
+ *       one `smtsweep --shard i/2` worker per shard into the shared
+ *       store (live progress + ETA on stderr), then merge the store
+ *       into the same report a serial `smtsweep --experiment smoke`
+ *       prints — bit-identical per-point stats;
+ *   smtsweep-dist --status --cache-dir DIR
+ *       audit a store against its manifest (done / in-progress /
+ *       orphaned / pending work).
+ *
+ * Workers run on this host; `--hosts` is the (unimplemented) hook for
+ * the remote backend — see ROADMAP.md.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dist/coordinator.hh"
+#include "sweep/experiments.hh"
+#include "sweep/runner.hh"
+
+namespace
+{
+
+int
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: smtsweep-dist --experiment NAME [options]\n"
+        "       smtsweep-dist --status --cache-dir DIR\n"
+        "\n"
+        "options:\n"
+        "  --experiment NAME   experiment to run (see smtsweep --list)\n"
+        "  --shards N          worker processes to shard across "
+        "(default 2)\n"
+        "  --cache-dir DIR     shared result store (default\n"
+        "                      $SMTSWEEP_CACHE or .smtsweep-cache)\n"
+        "  --retries K         relaunches per failed shard (default 1)\n"
+        "  --jobs N            pool threads per worker (default:\n"
+        "                      cores / shards)\n"
+        "  --smtsweep PATH     worker binary (default: smtsweep beside\n"
+        "                      this executable)\n"
+        "  --hosts LIST        remote host list (reserved; not yet\n"
+        "                      implemented)\n"
+        "  --json PATH         write the coordinator summary\n"
+        "  --cycles N          measured cycles per run\n"
+        "  --warmup N          warmup cycles per run\n"
+        "  --runs N            rotation runs per data point\n"
+        "  --serial            workers run their points serially\n"
+        "  --no-progress       no live progress line on stderr\n"
+        "  --status            audit the store manifest and exit\n"
+        "  --verbose           verbose workers + per-point cache logs\n");
+    return code;
+}
+
+/** `smtsweep` in this executable's directory (the normal build tree
+ *  layout); "./smtsweep" when /proc/self/exe is unreadable. execv()
+ *  does not search PATH, so main() verifies the result is runnable
+ *  before any shard burns its retries on exit 127. */
+std::string
+defaultWorkerPath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string self(buf);
+        const std::size_t slash = self.rfind('/');
+        if (slash != std::string::npos)
+            return self.substr(0, slash + 1) + "smtsweep";
+    }
+    return "./smtsweep";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace smt;
+
+    dist::DistOptions opts;
+    opts.ropts = sweep::defaultRunnerOptions();
+    if (opts.ropts.cacheDir.empty())
+        opts.ropts.cacheDir = ".smtsweep-cache";
+
+    std::string experiment;
+    std::string json_path;
+    bool status_mode = false;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "smtsweep-dist: %s needs a value\n",
+                         argv[i]);
+            std::exit(usage(2));
+        }
+        return argv[++i];
+    };
+    auto positive = [&](int &i) -> unsigned {
+        const char *flag = argv[i];
+        const char *value = next_arg(i);
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+        if (n < 1) {
+            std::fprintf(stderr,
+                         "smtsweep-dist: %s needs a positive count, "
+                         "got \"%s\"\n",
+                         flag, value);
+            std::exit(usage(2));
+        }
+        return n;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--experiment") == 0)
+            experiment = next_arg(i);
+        else if (std::strcmp(arg, "--shards") == 0)
+            opts.shards = positive(i);
+        else if (std::strcmp(arg, "--cache-dir") == 0)
+            opts.ropts.cacheDir = next_arg(i);
+        else if (std::strcmp(arg, "--retries") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            opts.retries =
+                static_cast<unsigned>(std::strtoul(value, &end, 10));
+            if (end == value || *end != '\0') {
+                std::fprintf(stderr,
+                             "smtsweep-dist: --retries needs a count, "
+                             "got \"%s\"\n",
+                             value);
+                return usage(2);
+            }
+        }
+        else if (std::strcmp(arg, "--jobs") == 0)
+            opts.jobsPerWorker = positive(i);
+        else if (std::strcmp(arg, "--smtsweep") == 0)
+            opts.smtsweepPath = next_arg(i);
+        else if (std::strcmp(arg, "--hosts") == 0)
+            opts.hostList = next_arg(i);
+        else if (std::strcmp(arg, "--json") == 0)
+            json_path = next_arg(i);
+        else if (std::strcmp(arg, "--cycles") == 0)
+            opts.ropts.measure.cyclesPerRun =
+                std::strtoull(next_arg(i), nullptr, 10);
+        else if (std::strcmp(arg, "--warmup") == 0)
+            opts.ropts.measure.warmupCycles =
+                std::strtoull(next_arg(i), nullptr, 10);
+        else if (std::strcmp(arg, "--runs") == 0)
+            opts.ropts.measure.runs = positive(i);
+        else if (std::strcmp(arg, "--serial") == 0)
+            opts.ropts.measure.parallel = false;
+        else if (std::strcmp(arg, "--no-progress") == 0)
+            opts.showProgress = false;
+        else if (std::strcmp(arg, "--status") == 0)
+            status_mode = true;
+        else if (std::strcmp(arg, "--verbose") == 0)
+            opts.ropts.verbose = true;
+        else if (std::strcmp(arg, "--help") == 0
+                 || std::strcmp(arg, "-h") == 0)
+            return usage(0);
+        else {
+            std::fprintf(stderr, "smtsweep-dist: unknown option %s\n",
+                         arg);
+            return usage(2);
+        }
+    }
+
+    if (status_mode)
+        return dist::auditStore(opts.ropts.cacheDir, opts.ropts.verbose);
+
+    if (experiment.empty()) {
+        std::fprintf(stderr, "smtsweep-dist: no experiment named "
+                             "(see smtsweep --list)\n");
+        return usage(2);
+    }
+    const sweep::NamedExperiment *e = sweep::findExperiment(experiment);
+    if (e == nullptr) {
+        std::fprintf(stderr,
+                     "smtsweep-dist: unknown experiment \"%s\" (see "
+                     "smtsweep --list)\n",
+                     experiment.c_str());
+        return 2;
+    }
+    if (opts.smtsweepPath.empty())
+        opts.smtsweepPath = defaultWorkerPath();
+    if (::access(opts.smtsweepPath.c_str(), X_OK) != 0) {
+        std::fprintf(stderr,
+                     "smtsweep-dist: worker binary %s is not runnable; "
+                     "pass --smtsweep PATH\n",
+                     opts.smtsweepPath.c_str());
+        return 2;
+    }
+
+    dist::DistOutcome outcome;
+    const int rc = dist::runDistributed(*e, opts, outcome);
+    if (rc != 0) {
+        std::fprintf(stderr, "smtsweep-dist: sweep failed\n");
+        return rc;
+    }
+
+    e->report(outcome.merged);
+    std::printf("dist %s: %zu points across %u shards, %u merge hits, "
+                "%u misses, %.2fs wall\n",
+                experiment.c_str(), outcome.merged.points.size(),
+                opts.shards, outcome.merged.cacheHits,
+                outcome.merged.cacheMisses, outcome.wallSeconds);
+
+    if (!json_path.empty())
+        sweep::writeJsonFile(json_path,
+                             dist::distArtifact(experiment, outcome));
+    return 0;
+}

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/shard.hh"
 #include "sweep/digest.hh"
 #include "sweep/experiments.hh"
 #include "sweep/result_cache.hh"
@@ -49,9 +50,38 @@ usage(int code)
         "  --cycles N          measured cycles per run\n"
         "  --warmup N          warmup cycles per run\n"
         "  --runs N            rotation runs per data point\n"
+        "  --jobs N            worker threads for the shared pool\n"
         "  --serial            run data points serially (no pool)\n"
+        "  --shard I/N         run only shard I of N into the shared\n"
+        "                      store (the smtsweep-dist worker protocol;\n"
+        "                      no report is printed)\n"
+        "  --progress-file P   append JSONL heartbeat records to P\n"
         "  --verbose           log per-point cache hits/misses\n");
     return code;
+}
+
+/** Parse "I/N" with 0 <= I < N; exits on malformed input. */
+void
+parseShardSpec(const char *text, unsigned &index, unsigned &count)
+{
+    char *end = nullptr;
+    const unsigned long i = std::strtoul(text, &end, 10);
+    if (end == text || *end != '/') {
+        std::fprintf(stderr, "smtsweep: --shard wants I/N, got \"%s\"\n",
+                     text);
+        std::exit(usage(2));
+    }
+    const char *rest = end + 1;
+    const unsigned long n = std::strtoul(rest, &end, 10);
+    if (end == rest || *end != '\0' || n < 1 || i >= n) {
+        std::fprintf(stderr,
+                     "smtsweep: --shard wants I/N with 0 <= I < N, "
+                     "got \"%s\"\n",
+                     text);
+        std::exit(usage(2));
+    }
+    index = static_cast<unsigned>(i);
+    count = static_cast<unsigned>(n);
 }
 
 } // namespace
@@ -67,6 +97,8 @@ main(int argc, char **argv)
 
     std::vector<std::string> names;
     std::string json_path;
+    std::string progress_path;
+    unsigned shard_index = 0, shard_count = 0;
     bool list = false;
     std::vector<std::string> describe;
 
@@ -108,6 +140,22 @@ main(int argc, char **argv)
                 return 2;
             }
         }
+        else if (std::strcmp(arg, "--jobs") == 0) {
+            const char *value = next_arg(i);
+            ropts.jobs = static_cast<unsigned>(
+                std::strtoul(value, nullptr, 10));
+            if (ropts.jobs < 1) {
+                std::fprintf(stderr,
+                             "smtsweep: --jobs needs a positive count, "
+                             "got \"%s\"\n",
+                             value);
+                return 2;
+            }
+        }
+        else if (std::strcmp(arg, "--shard") == 0)
+            parseShardSpec(next_arg(i), shard_index, shard_count);
+        else if (std::strcmp(arg, "--progress-file") == 0)
+            progress_path = next_arg(i);
         else if (std::strcmp(arg, "--serial") == 0)
             ropts.measure.parallel = false;
         else if (std::strcmp(arg, "--verbose") == 0)
@@ -147,6 +195,35 @@ main(int argc, char **argv)
         std::fprintf(stderr, "smtsweep: no experiment named "
                              "(try --list)\n");
         return usage(2);
+    }
+
+    // Worker protocol: measure only this shard's slice of the grid
+    // into the shared store; the coordinator merges and reports.
+    if (shard_count > 0) {
+        if (names.size() != 1) {
+            std::fprintf(stderr, "smtsweep: --shard runs exactly one "
+                                 "experiment\n");
+            return usage(2);
+        }
+        const NamedExperiment *e = findExperiment(names[0]);
+        if (e == nullptr) {
+            std::fprintf(stderr, "smtsweep: unknown experiment \"%s\" "
+                                 "(try --list)\n",
+                         names[0].c_str());
+            return 2;
+        }
+        if (ropts.cacheDir.empty()) {
+            std::fprintf(stderr, "smtsweep: --shard needs a shared "
+                                 "store; do not pass --no-cache\n");
+            return usage(2);
+        }
+        const smt::dist::ShardRunResult r = smt::dist::runShard(
+            e->spec, ropts, shard_index, shard_count, progress_path);
+        std::printf("shard %u/%u of %s: %zu points (%zu hits, "
+                    "%zu misses), %.2fs wall\n",
+                    shard_index, shard_count, names[0].c_str(), r.points,
+                    r.cacheHits, r.cacheMisses, r.wallSeconds);
+        return 0;
     }
 
     std::vector<SweepOutcome> outcomes;
