@@ -9,12 +9,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <thread>
 
 #include "common/logging.hh"
-#include "dist/progress.hh"
-#include "dist/shard.hh"
+#include "dist/ssh_launcher.hh"
 #include "sweep/digest.hh"
+#include "sweep/remote_store.hh"
 #include "sweep/result_store.hh"
 
 namespace fs = std::filesystem;
@@ -36,7 +37,7 @@ secondsSince(std::chrono::steady_clock::time_point start)
 sweep::Json
 makeManifest(const std::string &experiment,
              const std::vector<sweep::SweepPoint> &grid,
-             const ShardPlan &plan)
+             const ShardPlan &plan, const CostHints &hints)
 {
     sweep::Json manifest = sweep::Json::object();
     manifest.set("schema", sweep::Json(sweep::kDigestSchema));
@@ -52,7 +53,34 @@ makeManifest(const std::string &experiment,
         points.push(std::move(p));
     }
     manifest.set("points", std::move(points));
+    if (!hints.empty()) {
+        // Pin the exact cost snapshot the plan was derived from, so a
+        // worker re-planning from the manifest cannot diverge.
+        sweep::Json costs = sweep::Json::object();
+        for (const auto &[digest, seconds] : hints)
+            costs.set(digest, sweep::Json(seconds));
+        manifest.set("observedCosts", std::move(costs));
+    }
     return manifest;
+}
+
+/** Declare every unfinished digest of a dead worker's shard orphaned,
+ *  so idle workers (and the audit) see abandoned, adoptable work. */
+std::size_t
+declareShardOrphans(sweep::ResultStore &store, const ShardPlan &plan,
+                    unsigned shard)
+{
+    std::size_t declared = 0;
+    for (const auto &[digest, owner] : plan.shardOfDigest) {
+        if (owner != shard)
+            continue;
+        const sweep::WorkState state = store.state(digest);
+        if (state == sweep::WorkState::Done)
+            continue;
+        store.markOrphaned(digest);
+        ++declared;
+    }
+    return declared;
 }
 
 } // namespace
@@ -104,6 +132,23 @@ LocalProcessLauncher::poll(long handle, int &exit_code)
 }
 
 void
+LocalProcessLauncher::wait(long handle, int &exit_code)
+{
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(handle), &status, 0);
+    if (r < 0) {
+        exit_code = 127;
+        return;
+    }
+    if (WIFEXITED(status))
+        exit_code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        exit_code = 128 + WTERMSIG(status);
+    else
+        exit_code = 127;
+}
+
+void
 LocalProcessLauncher::terminate(long handle)
 {
     ::kill(static_cast<pid_t>(handle), SIGTERM);
@@ -112,15 +157,15 @@ LocalProcessLauncher::terminate(long handle)
 }
 
 std::unique_ptr<WorkerLauncher>
-makeLauncher(const std::string &host_list)
+makeLauncher(const std::string &host_list, const std::string &ssh_program)
 {
-    if (!host_list.empty())
-        smt_fatal("remote worker hosts (\"%s\") are not supported yet: "
-                  "the WorkerLauncher backend for host lists is the "
-                  "ROADMAP follow-on; run without --hosts for local "
-                  "multi-process sharding",
-                  host_list.c_str());
-    return std::make_unique<LocalProcessLauncher>();
+    if (host_list.empty())
+        return std::make_unique<LocalProcessLauncher>();
+    std::vector<std::string> hosts = parseHostList(host_list);
+    if (hosts.empty())
+        smt_fatal("--hosts \"%s\" names no hosts", host_list.c_str());
+    return std::make_unique<SshWorkerLauncher>(std::move(hosts),
+                                               ssh_program);
 }
 
 int
@@ -130,26 +175,51 @@ runDistributed(const sweep::NamedExperiment &experiment,
     smt_assert(opts.shards >= 1, "need at least one shard");
     if (opts.ropts.cacheDir.empty())
         smt_fatal("a distributed sweep needs a shared store "
-                  "(--cache-dir)");
+                  "(--cache-dir or --store-url)");
     const std::string &name = experiment.spec.name;
+    const std::string &locator = opts.ropts.cacheDir;
+    const bool remote_store = sweep::isRemoteStoreLocator(locator);
 
     const auto start = std::chrono::steady_clock::now();
 
+    std::unique_ptr<sweep::ResultStore> store = sweep::openStore(locator);
+
     // Plan and record the expected work before any worker starts, so
-    // the store can be audited from the first heartbeat on.
+    // the store can be audited from the first heartbeat on. Observed
+    // costs from a previous sweep over this store outrank estimates.
     const std::vector<sweep::SweepPoint> grid =
         experiment.spec.expand(opts.ropts.measure);
-    const ShardPlan plan = planShards(grid, opts.shards);
-    {
-        std::unique_ptr<sweep::ResultStore> store =
-            sweep::openLocalStore(opts.ropts.cacheDir);
-        store->writeManifest(makeManifest(name, grid, plan));
+    CostHints hints;
+    if (const std::optional<sweep::Json> previous = store->readManifest())
+        hints = costHintsFromManifest(*previous);
+    const ShardPlan plan = planShards(grid, opts.shards, hints);
+    store->writeManifest(makeManifest(name, grid, plan, hints));
+
+    std::unique_ptr<WorkerLauncher> launcher =
+        makeLauncher(opts.hostList, opts.sshProgram);
+    const bool captured_progress = launcher->capturesProgress();
+
+    // File-based heartbeats need a local directory; a remote store has
+    // no local one, so they live beside the working directory, keyed
+    // by pid so concurrent sweeps in one cwd cannot clobber each
+    // other's heartbeat streams.
+    const std::string progress_base =
+        remote_store ? ".smtsweep-dist-progress-"
+                           + std::to_string(::getpid())
+                     : locator;
+    if (!captured_progress) {
+        std::error_code ec;
+        fs::create_directories(progress_base + "/progress", ec);
+        if (ec)
+            smt_fatal("cannot create %s/progress: %s",
+                      progress_base.c_str(), ec.message().c_str());
+        // Stale heartbeat files from a previous sweep over this store
+        // all end `finished: true`; read before the fresh workers
+        // truncate them, they would trip the terminal-state fast path
+        // into blocking waits. Start from a clean slate.
+        for (unsigned s = 0; s < opts.shards; ++s)
+            fs::remove(progressPath(progress_base, s), ec);
     }
-    std::error_code ec;
-    fs::create_directories(opts.ropts.cacheDir + "/progress", ec);
-    if (ec)
-        smt_fatal("cannot create %s/progress: %s",
-                  opts.ropts.cacheDir.c_str(), ec.message().c_str());
 
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     const unsigned jobs = opts.jobsPerWorker > 0
@@ -162,8 +232,7 @@ runDistributed(const sweep::NamedExperiment &experiment,
             "--experiment", name,
             "--shard",
             std::to_string(shard) + "/" + std::to_string(opts.shards),
-            "--cache-dir", opts.ropts.cacheDir,
-            "--progress-file", progressPath(opts.ropts.cacheDir, shard),
+            remote_store ? "--store-url" : "--cache-dir", locator,
             "--jobs", std::to_string(jobs),
             // Forward the measurement knobs explicitly so every worker
             // expands and plans the identical grid whatever its
@@ -172,14 +241,23 @@ runDistributed(const sweep::NamedExperiment &experiment,
             "--warmup", std::to_string(opts.ropts.measure.warmupCycles),
             "--runs", std::to_string(opts.ropts.measure.runs),
         };
+        if (captured_progress)
+            argv.push_back("--progress-stdout");
+        else {
+            argv.push_back("--progress-file");
+            argv.push_back(progressPath(progress_base, shard));
+        }
+        if (opts.steal) {
+            argv.push_back("--steal");
+            argv.push_back("--steal-wait");
+            argv.push_back(std::to_string(opts.stealWaitSeconds));
+        }
         if (!opts.ropts.measure.parallel)
             argv.push_back("--serial");
         if (opts.ropts.verbose)
             argv.push_back("--verbose");
         return argv;
     };
-
-    std::unique_ptr<WorkerLauncher> launcher = makeLauncher(opts.hostList);
 
     struct Worker
     {
@@ -202,51 +280,82 @@ runDistributed(const sweep::NamedExperiment &experiment,
     std::string last_logged;
     bool failed = false;
     unsigned running = opts.shards;
+    outcome.orphansDeclared = 0;
+
+    auto latestFor = [&](Worker &w, ProgressRecord &rec) {
+        if (captured_progress)
+            return launcher->latestProgress(w.handle, rec);
+        return readLatestProgress(
+            progressPath(progress_base, w.status.shard), rec);
+    };
+
+    auto onExit = [&](Worker &w, int exit_code) {
+        w.running = false;
+        --running;
+        if (exit_code == 0) {
+            w.status.succeeded = true;
+            w.status.attempts = w.attempts;
+            w.status.wallSeconds = secondsSince(w.launchedAt);
+            return;
+        }
+        if (opts.steal) {
+            // Work stealing replaces whole-shard relaunch: declare the
+            // dead shard's unfinished digests orphaned; surviving
+            // workers adopt them, and the recovery pass below sweeps
+            // up anything nobody took.
+            const std::size_t declared =
+                declareShardOrphans(*store, plan, w.status.shard);
+            outcome.orphansDeclared += declared;
+            smt_warn("shard %u/%u exited with code %d; declared %zu "
+                     "orphaned digest(s) for adoption instead of "
+                     "relaunching",
+                     w.status.shard, opts.shards, exit_code, declared);
+            w.status.attempts = w.attempts;
+            w.status.wallSeconds = secondsSince(w.launchedAt);
+            return;
+        }
+        if (w.attempts <= opts.retries) {
+            smt_warn("shard %u/%u exited with code %d; relaunching "
+                     "(attempt %u of %u)",
+                     w.status.shard, opts.shards, exit_code,
+                     w.attempts + 1, opts.retries + 1);
+            w.handle = launcher->launch(w.status.shard,
+                                        workerArgs(w.status.shard));
+            w.running = true;
+            ++w.attempts;
+            w.launchedAt = std::chrono::steady_clock::now();
+            ++running;
+            return;
+        }
+        smt_warn("shard %u/%u failed with code %d after %u attempts; "
+                 "aborting the sweep",
+                 w.status.shard, opts.shards, exit_code, w.attempts);
+        w.status.attempts = w.attempts;
+        failed = true;
+    };
 
     while (running > 0) {
         for (Worker &w : workers) {
             if (!w.running)
                 continue;
             int exit_code = 0;
-            if (!launcher->poll(w.handle, exit_code))
-                continue;
-            w.running = false;
-            --running;
-            if (exit_code == 0) {
-                w.status.succeeded = true;
-                w.status.attempts = w.attempts;
-                w.status.wallSeconds = secondsSince(w.launchedAt);
-                continue;
-            }
-            if (w.attempts <= opts.retries) {
-                smt_warn("shard %u/%u exited with code %d; relaunching "
-                         "(attempt %u of %u)",
-                         w.status.shard, opts.shards, exit_code,
-                         w.attempts + 1, opts.retries + 1);
-                w.handle = launcher->launch(w.status.shard,
-                                            workerArgs(w.status.shard));
-                w.running = true;
-                ++w.attempts;
-                w.launchedAt = std::chrono::steady_clock::now();
-                ++running;
-                continue;
-            }
-            smt_warn("shard %u/%u failed with code %d after %u attempts; "
-                     "aborting the sweep",
-                     w.status.shard, opts.shards, exit_code, w.attempts);
-            w.status.attempts = w.attempts;
-            failed = true;
+            if (launcher->poll(w.handle, exit_code))
+                onExit(w, exit_code);
         }
         if (failed)
             break;
 
         // Fold every shard's newest heartbeat into one status line.
+        // One read per worker per tick; the records double as the
+        // terminal-state check below.
         std::vector<ProgressRecord> latest;
-        for (unsigned s = 0; s < opts.shards; ++s) {
-            ProgressRecord rec;
-            if (readLatestProgress(
-                    progressPath(opts.ropts.cacheDir, s), rec))
-                latest.push_back(rec);
+        std::vector<bool> reported(workers.size(), false);
+        std::vector<ProgressRecord> record(workers.size());
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            if (latestFor(workers[i], record[i])) {
+                reported[i] = true;
+                latest.push_back(record[i]);
+            }
         }
         const ProgressSummary summary = aggregateProgress(latest);
         const std::string line =
@@ -261,7 +370,8 @@ runDistributed(const sweep::NamedExperiment &experiment,
                 // on progress rather than elapsed time.
                 std::string key =
                     std::to_string(summary.pointsDone) + "/"
-                    + std::to_string(summary.shardsFinished);
+                    + std::to_string(summary.shardsFinished) + "/"
+                    + std::to_string(summary.stolen);
                 if (key != last_logged) {
                     std::fprintf(stderr, "[smtsweep-dist] %s\n",
                                  line.c_str());
@@ -269,8 +379,31 @@ runDistributed(const sweep::NamedExperiment &experiment,
                 }
             }
         }
-        if (running > 0)
-            std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        if (running == 0)
+            break;
+
+        // Once every still-running shard has reported terminal state,
+        // stop polling: reap each worker with a blocking wait so the
+        // coordinator exits as soon as they do.
+        bool all_terminal = true;
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            if (workers[i].running
+                && (!reported[i] || !record[i].finished)) {
+                all_terminal = false;
+                break;
+            }
+        }
+        if (all_terminal) {
+            for (Worker &w : workers) {
+                if (!w.running)
+                    continue;
+                int exit_code = 0;
+                launcher->wait(w.handle, exit_code);
+                onExit(w, exit_code);
+            }
+            continue;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
     }
     if (live_tty)
         std::fprintf(stderr, "\n");
@@ -283,18 +416,56 @@ runDistributed(const sweep::NamedExperiment &experiment,
         return 1;
     }
 
-    // Collect final per-shard numbers from the heartbeat files.
+    // Collect final per-shard numbers from the heartbeat streams.
     outcome.shards.clear();
     outcome.workerCacheHits = 0;
+    unsigned succeeded = 0;
     for (Worker &w : workers) {
         ProgressRecord rec;
-        if (readLatestProgress(
-                progressPath(opts.ropts.cacheDir, w.status.shard), rec)) {
+        if (latestFor(w, rec)) {
             w.status.points = rec.pointsTotal;
             w.status.cacheHits = rec.cacheHits;
+            w.status.stolen = rec.stolen;
         }
+        if (w.status.succeeded)
+            ++succeeded;
         outcome.workerCacheHits += w.status.cacheHits;
         outcome.shards.push_back(w.status);
+    }
+
+    // Stealing absorbs *partial* failure. If no worker at all
+    // succeeded, the setup is broken (bad --smtsweep path, dead hosts,
+    // unreachable store) — recovering the whole grid in-process would
+    // just mask it as a slow local run, so fail loudly instead.
+    if (succeeded == 0) {
+        smt_warn("all %u worker(s) failed; not recovering — check the "
+                 "worker binary, hosts, and store",
+                 opts.shards);
+        return 1;
+    }
+
+    // Recovery: anything still unfinished (orphans nobody adopted —
+    // every adopter timed out or died) is measured right here, so the
+    // merge below never depends on luck.
+    std::vector<sweep::SweepPoint> leftovers;
+    {
+        std::set<std::string> seen;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (!seen.insert(plan.digests[i]).second)
+                continue;
+            if (store->state(plan.digests[i]) != sweep::WorkState::Done)
+                leftovers.push_back(grid[i]);
+        }
+    }
+    outcome.recoveredInProcess = leftovers.size();
+    if (!leftovers.empty()) {
+        smt_warn("recovering %zu unfinished point(s) in-process before "
+                 "the merge",
+                 leftovers.size());
+        sweep::RunnerOptions recovery_opts = opts.ropts;
+        recovery_opts.requireCached = false;
+        recovery_opts.onProgress = nullptr;
+        sweep::runPoints(leftovers, recovery_opts);
     }
 
     // Merge: replay the whole grid from the shared store. Every point
@@ -304,6 +475,31 @@ runDistributed(const sweep::NamedExperiment &experiment,
     merge_opts.requireCached = true;
     merge_opts.onProgress = nullptr;
     outcome.merged = sweep::runSweep(experiment.spec, merge_opts);
+
+    // Dynamic cost feedback: record what each digest actually cost in
+    // the manifest, so the next sweep over this store plans from
+    // observation instead of estimate. One bulk fetch — not a round
+    // trip per digest against a remote store.
+    if (std::optional<sweep::Json> manifest = store->readManifest()) {
+        const std::map<std::string, double> observed =
+            store->observedCosts();
+        sweep::Json costs = sweep::Json::object();
+        for (const auto &[digest, shard] : plan.shardOfDigest) {
+            (void)shard;
+            const auto it = observed.find(digest);
+            if (it != observed.end())
+                costs.set(digest, sweep::Json(it->second));
+        }
+        manifest->set("observedCosts", std::move(costs));
+        store->writeManifest(*manifest);
+    }
+
+    // The pid-keyed progress dir of a remote-store run is scratch.
+    if (remote_store && !captured_progress) {
+        std::error_code ec;
+        fs::remove_all(progress_base, ec);
+    }
+
     outcome.wallSeconds = secondsSince(start);
     return 0;
 }
@@ -321,15 +517,24 @@ distArtifact(const std::string &experiment, const DistOutcome &outcome)
         sweep::Json j = sweep::Json::object();
         j.set("shard", sweep::Json(s.shard));
         j.set("attempts", sweep::Json(s.attempts));
+        j.set("succeeded", sweep::Json(s.succeeded));
         j.set("points", sweep::Json(static_cast<std::uint64_t>(s.points)));
         j.set("cacheHits",
               sweep::Json(static_cast<std::uint64_t>(s.cacheHits)));
+        j.set("stolen",
+              sweep::Json(static_cast<std::uint64_t>(s.stolen)));
         j.set("wallSeconds", sweep::Json(s.wallSeconds));
         shard_list.push(std::move(j));
     }
     doc.set("workers", std::move(shard_list));
     doc.set("workerCacheHits",
             sweep::Json(static_cast<std::uint64_t>(outcome.workerCacheHits)));
+    doc.set("orphansDeclared",
+            sweep::Json(static_cast<std::uint64_t>(
+                outcome.orphansDeclared)));
+    doc.set("recoveredInProcess",
+            sweep::Json(static_cast<std::uint64_t>(
+                outcome.recoveredInProcess)));
     doc.set("mergeCacheHits", sweep::Json(outcome.merged.cacheHits));
     doc.set("mergeCacheMisses", sweep::Json(outcome.merged.cacheMisses));
     doc.set("wallSeconds", sweep::Json(outcome.wallSeconds));
@@ -337,46 +542,118 @@ distArtifact(const std::string &experiment, const DistOutcome &outcome)
     return doc;
 }
 
-int
-auditStore(const std::string &cache_dir, bool verbose)
+sweep::Json
+auditArtifact(const std::string &store_locator, bool &ok)
 {
+    ok = false;
+    sweep::Json doc = sweep::Json::object();
+    doc.set("schema", sweep::Json(sweep::kDigestSchema));
+
     std::unique_ptr<sweep::ResultStore> store =
-        sweep::openLocalStore(cache_dir);
+        sweep::openStore(store_locator);
+    doc.set("store", sweep::Json(store->description()));
     const std::optional<sweep::Json> manifest = store->readManifest();
     if (!manifest.has_value()
         || manifest->type() != sweep::Json::Type::Object
         || !manifest->has("points")) {
-        std::fprintf(stderr,
-                     "no sweep manifest in %s (has a coordinator run "
-                     "here?)\n",
-                     store->description().c_str());
-        return 2;
+        doc.set("error", sweep::Json("no sweep manifest recorded"));
+        return doc;
     }
+    doc.set("experiment", manifest->at("experiment"));
 
-    std::map<std::string, sweep::WorkState> states;
     const sweep::Json &points = manifest->at("points");
+    std::map<std::string, sweep::WorkState> states;
+    std::map<std::string, unsigned> shard_of;
     for (std::size_t i = 0; i < points.size(); ++i) {
         const std::string &digest = points[i].at("digest").asString();
-        if (states.find(digest) == states.end())
+        if (states.find(digest) == states.end()) {
             states.emplace(digest, store->state(digest));
+            if (points[i].has("shard"))
+                shard_of[digest] = static_cast<unsigned>(
+                    points[i].at("shard").asUInt());
+        }
     }
 
     std::map<sweep::WorkState, std::size_t> counts;
+    sweep::Json digest_list = sweep::Json::array();
     for (const auto &[digest, state] : states) {
         ++counts[state];
-        if (verbose)
-            std::printf("%s  %s\n", digest.c_str(),
-                        sweep::toString(state));
+        sweep::Json d = sweep::Json::object();
+        d.set("digest", sweep::Json(digest));
+        if (shard_of.count(digest))
+            d.set("shard", sweep::Json(shard_of[digest]));
+        d.set("state", sweep::Json(sweep::toString(state)));
+        digest_list.push(std::move(d));
     }
-    std::printf("%s: experiment %s, %zu points (%zu unique), "
-                "%zu done, %zu in-progress, %zu orphaned, %zu pending\n",
-                store->description().c_str(),
-                manifest->at("experiment").asString().c_str(),
-                points.size(), states.size(),
-                counts[sweep::WorkState::Done],
-                counts[sweep::WorkState::InProgress],
-                counts[sweep::WorkState::Orphaned],
-                counts[sweep::WorkState::Pending]);
+
+    doc.set("points",
+            sweep::Json(static_cast<std::uint64_t>(points.size())));
+    doc.set("unique",
+            sweep::Json(static_cast<std::uint64_t>(states.size())));
+    sweep::Json count_doc = sweep::Json::object();
+    count_doc.set("done", sweep::Json(static_cast<std::uint64_t>(
+                              counts[sweep::WorkState::Done])));
+    count_doc.set("inProgress",
+                  sweep::Json(static_cast<std::uint64_t>(
+                      counts[sweep::WorkState::InProgress])));
+    count_doc.set("orphaned",
+                  sweep::Json(static_cast<std::uint64_t>(
+                      counts[sweep::WorkState::Orphaned])));
+    count_doc.set("pending",
+                  sweep::Json(static_cast<std::uint64_t>(
+                      counts[sweep::WorkState::Pending])));
+    doc.set("counts", std::move(count_doc));
+    doc.set("digests", std::move(digest_list));
+    ok = true;
+    return doc;
+}
+
+int
+auditStore(const std::string &store_locator, bool verbose,
+           const std::string &json_path)
+{
+    bool ok = false;
+    const sweep::Json doc = auditArtifact(store_locator, ok);
+    if (!ok) {
+        std::fprintf(stderr,
+                     "no sweep manifest in %s (has a coordinator run "
+                     "here?)\n",
+                     doc.at("store").asString().c_str());
+        return 2;
+    }
+
+    if (json_path == "-") {
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
+    }
+    if (!json_path.empty())
+        sweep::writeJsonFile(json_path, doc);
+
+    const sweep::Json &digests = doc.at("digests");
+    if (verbose) {
+        for (std::size_t i = 0; i < digests.size(); ++i)
+            std::printf("%s  %s\n",
+                        digests[i].at("digest").asString().c_str(),
+                        digests[i].at("state").asString().c_str());
+    }
+    const sweep::Json &counts = doc.at("counts");
+    std::printf("%s: experiment %s, %llu points (%llu unique), "
+                "%llu done, %llu in-progress, %llu orphaned, "
+                "%llu pending\n",
+                doc.at("store").asString().c_str(),
+                doc.at("experiment").asString().c_str(),
+                static_cast<unsigned long long>(
+                    doc.at("points").asUInt()),
+                static_cast<unsigned long long>(
+                    doc.at("unique").asUInt()),
+                static_cast<unsigned long long>(
+                    counts.at("done").asUInt()),
+                static_cast<unsigned long long>(
+                    counts.at("inProgress").asUInt()),
+                static_cast<unsigned long long>(
+                    counts.at("orphaned").asUInt()),
+                static_cast<unsigned long long>(
+                    counts.at("pending").asUInt()));
     return 0;
 }
 

@@ -2,18 +2,26 @@
  * @file
  * The multi-process sweep coordinator.
  *
- * Plans the shard partition, records the expected-work manifest in the
- * shared store, launches one `smtsweep --shard i/N` worker per shard,
- * monitors their heartbeat files into a live stderr progress line
- * (with ETA), relaunches failed shards, and finally merges the store
- * back into a SweepOutcome — a pure cache replay, so the merged result
- * is bit-identical to a serial run of the same experiment.
+ * Plans the shard partition (preferring observed point costs from the
+ * store manifest over estimates), records the expected-work manifest
+ * in the shared store, launches one `smtsweep --shard i/N` worker per
+ * shard, monitors their heartbeats into a live stderr progress line
+ * (with ETA), and finally merges the store back into a SweepOutcome —
+ * a pure cache replay, so the merged result is bit-identical to a
+ * serial run of the same experiment whichever store (local directory
+ * or remote smtstore) backed it.
  *
- * Worker processes are started through the WorkerLauncher interface.
- * The local implementation fork/execs on this host; a remote backend
- * (ssh to a host list, a job scheduler) would implement the same
- * interface — see makeLauncher(), which currently accepts only the
- * local case.
+ * Failure handling has two modes. With work stealing (the default),
+ * a dead worker's unfinished digests are declared orphaned in the
+ * store and surviving workers adopt them through the claim CAS — no
+ * shard is ever relaunched, and anything still unfinished when the
+ * last worker exits is recovered in-process before the merge. With
+ * --no-steal, the classic per-shard relaunch (--retries) applies.
+ *
+ * Worker processes are started through the WorkerLauncher interface:
+ * LocalProcessLauncher fork/execs on this host; SshWorkerLauncher
+ * (dist/ssh_launcher.hh) runs them on a --hosts list and captures
+ * their output. makeLauncher() picks by host list.
  */
 
 #ifndef SMT_DIST_COORDINATOR_HH
@@ -23,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/progress.hh"
+#include "dist/shard.hh"
 #include "sweep/experiments.hh"
 #include "sweep/json.hh"
 #include "sweep/runner.hh"
@@ -45,8 +55,25 @@ class WorkerLauncher
      *  (128+signal for a signalled death). */
     virtual bool poll(long handle, int &exit_code) = 0;
 
+    /** Block until the worker exits (the monitor switches to this
+     *  once every shard has reported terminal progress, so the loop
+     *  ends promptly instead of polling idle workers). */
+    virtual void wait(long handle, int &exit_code) = 0;
+
     /** Best-effort termination (another shard failed hard). */
     virtual void terminate(long handle) = 0;
+
+    /** True when this launcher captures worker heartbeats itself
+     *  (workers then heartbeat to stdout, not to progress files). */
+    virtual bool capturesProgress() const { return false; }
+
+    /** The newest captured heartbeat, when capturesProgress(). */
+    virtual bool latestProgress(long handle, ProgressRecord &out)
+    {
+        (void)handle;
+        (void)out;
+        return false;
+    }
 };
 
 /** fork/exec workers on this host. */
@@ -56,38 +83,53 @@ class LocalProcessLauncher final : public WorkerLauncher
     long launch(unsigned shard,
                 const std::vector<std::string> &argv) override;
     bool poll(long handle, int &exit_code) override;
+    void wait(long handle, int &exit_code) override;
     void terminate(long handle) override;
 };
 
 /**
- * The launcher for a host list. An empty list means this host
- * (LocalProcessLauncher); a non-empty list is the remote backend's
- * slot, which is not implemented yet (fatal, pointing at ROADMAP).
+ * The launcher for a host list: empty means this host
+ * (LocalProcessLauncher); "hostA,hostB,..." launches workers over ssh
+ * (SshWorkerLauncher), `ssh_program` being the ssh binary to invoke
+ * (injectable for tests).
  */
-std::unique_ptr<WorkerLauncher> makeLauncher(const std::string &host_list);
+std::unique_ptr<WorkerLauncher> makeLauncher(const std::string &host_list,
+                                             const std::string &ssh_program
+                                             = "ssh");
 
 /** How to run a distributed sweep. */
 struct DistOptions
 {
     unsigned shards = 2;
 
-    /** Relaunches allowed per failed shard before giving up. */
+    /** Relaunches allowed per failed shard (only without stealing). */
     unsigned retries = 1;
 
     /** Pool workers per worker process; 0 = cores / shards. */
     unsigned jobsPerWorker = 0;
 
-    /** Worker binary (default: `smtsweep` beside this executable). */
+    /** Worker binary (default: `smtsweep` beside this executable).
+     *  With --hosts this is the path on the *remote* hosts. */
     std::string smtsweepPath;
 
-    /** Remote host list hook (must be empty until the backend lands). */
+    /** Remote host list ("hostA,hostB"); empty = local processes. */
     std::string hostList;
+
+    /** ssh binary for the remote backend (tests inject a stub). */
+    std::string sshProgram = "ssh";
+
+    /** Orphan-aware work stealing (see file comment). */
+    bool steal = true;
+
+    /** Grace period a worker lingers for orphans (--steal-wait). */
+    double stealWaitSeconds = 10.0;
 
     /** Live progress line on stderr. */
     bool showProgress = true;
 
-    /** Measurement knobs + the shared store (cacheDir must be set);
-     *  forwarded to every worker and used for the merge pass. */
+    /** Measurement knobs + the shared store locator (cacheDir must be
+     *  set — a directory or an http:// store URL); forwarded to every
+     *  worker and used for the merge pass. */
     sweep::RunnerOptions ropts;
 };
 
@@ -99,6 +141,7 @@ struct ShardStatus
     bool succeeded = false;
     std::size_t points = 0;
     std::size_t cacheHits = 0;
+    std::size_t stolen = 0;
     double wallSeconds = 0.0;
 };
 
@@ -108,13 +151,20 @@ struct DistOutcome
     sweep::SweepOutcome merged;
     std::vector<ShardStatus> shards;
     std::size_t workerCacheHits = 0;
+
+    /** Digests declared orphaned after worker deaths (work stealing). */
+    std::size_t orphansDeclared = 0;
+
+    /** Orphans nobody adopted, measured by the coordinator itself. */
+    std::size_t recoveredInProcess = 0;
+
     double wallSeconds = 0.0;
 };
 
 /**
  * Run `experiment` sharded opts.shards ways. Returns 0 on success
  * (outcome filled, merge verified all-hits), nonzero after a shard
- * exhausts its retries.
+ * failure the sweep could not absorb.
  */
 int runDistributed(const sweep::NamedExperiment &experiment,
                    const DistOptions &opts, DistOutcome &outcome);
@@ -126,10 +176,17 @@ sweep::Json distArtifact(const std::string &experiment,
 /**
  * Audit a store against its manifest: per-digest done / in-progress /
  * orphaned / pending classification (the coordinator's view of a
- * sweep it did not run itself). Returns an exit code; prints to
- * stdout, per-digest lines when `verbose`.
+ * sweep it did not run itself). Prints the human table to stdout;
+ * per-digest lines when `verbose`. `json_path` additionally emits the
+ * audit as JSON — "-" for stdout (replacing the table), else a file
+ * path. Returns an exit code.
  */
-int auditStore(const std::string &cache_dir, bool verbose);
+int auditStore(const std::string &store_locator, bool verbose,
+               const std::string &json_path = "");
+
+/** The audit document auditStore() emits (exposed for tests). */
+sweep::Json auditArtifact(const std::string &store_locator,
+                          bool &ok);
 
 } // namespace smt::dist
 

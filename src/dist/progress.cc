@@ -22,30 +22,43 @@ ProgressWriter::ProgressWriter(const std::string &path, unsigned shard,
         smt_warn("cannot write progress file %s", path.c_str());
         return;
     }
-    append(0, 0, false);
+    owned_ = true;
+    append(0, 0, 0, false);
+}
+
+ProgressWriter::ProgressWriter(std::FILE *stream, unsigned shard,
+                               std::size_t points_total)
+    : file_(stream), owned_(false), shard_(shard),
+      pointsTotal_(points_total),
+      start_(std::chrono::steady_clock::now())
+{
+    if (file_ != nullptr)
+        append(0, 0, 0, false);
 }
 
 ProgressWriter::~ProgressWriter()
 {
-    if (file_ != nullptr)
+    if (file_ != nullptr && owned_)
         std::fclose(file_);
 }
 
 void
-ProgressWriter::update(std::size_t points_done, std::size_t cache_hits)
+ProgressWriter::update(std::size_t points_done, std::size_t cache_hits,
+                       std::size_t stolen)
 {
-    append(points_done, cache_hits, false);
+    append(points_done, cache_hits, stolen, false);
 }
 
 void
-ProgressWriter::finish(std::size_t points_done, std::size_t cache_hits)
+ProgressWriter::finish(std::size_t points_done, std::size_t cache_hits,
+                       std::size_t stolen)
 {
-    append(points_done, cache_hits, true);
+    append(points_done, cache_hits, stolen, true);
 }
 
 void
 ProgressWriter::append(std::size_t points_done, std::size_t cache_hits,
-                       bool finished)
+                       std::size_t stolen, bool finished)
 {
     if (file_ == nullptr)
         return;
@@ -58,10 +71,32 @@ ProgressWriter::append(std::size_t points_done, std::size_t cache_hits,
     // skipped).
     std::fprintf(file_,
                  "{\"shard\":%u,\"done\":%zu,\"total\":%zu,\"hits\":%zu,"
-                 "\"wall\":%.3f,\"finished\":%s}\n",
-                 shard_, points_done, pointsTotal_, cache_hits, wall,
-                 finished ? "true" : "false");
+                 "\"stolen\":%zu,\"wall\":%.3f,\"finished\":%s}\n",
+                 shard_, points_done, pointsTotal_, cache_hits, stolen,
+                 wall, finished ? "true" : "false");
     std::fflush(file_);
+}
+
+bool
+parseProgressLine(const std::string &line, ProgressRecord &out)
+{
+    sweep::Json j;
+    if (!sweep::Json::parse(line, j)
+        || j.type() != sweep::Json::Type::Object || !j.has("done")
+        || !j.has("total"))
+        return false;
+    ProgressRecord rec;
+    rec.shard = j.has("shard")
+                    ? static_cast<unsigned>(j.at("shard").asUInt())
+                    : 0;
+    rec.pointsDone = j.at("done").asUInt();
+    rec.pointsTotal = j.at("total").asUInt();
+    rec.cacheHits = j.has("hits") ? j.at("hits").asUInt() : 0;
+    rec.stolen = j.has("stolen") ? j.at("stolen").asUInt() : 0;
+    rec.wallSeconds = j.has("wall") ? j.at("wall").asDouble() : 0.0;
+    rec.finished = j.has("finished") && j.at("finished").asBool();
+    out = rec;
+    return true;
 }
 
 bool
@@ -84,20 +119,9 @@ readLatestProgress(const std::string &path, ProgressRecord &out)
     bool found = false;
     std::string line;
     while (std::getline(in, line)) {
-        sweep::Json j;
-        if (!sweep::Json::parse(line, j)
-            || j.type() != sweep::Json::Type::Object || !j.has("done")
-            || !j.has("total"))
-            continue;
         ProgressRecord rec;
-        rec.shard = j.has("shard")
-                        ? static_cast<unsigned>(j.at("shard").asUInt())
-                        : 0;
-        rec.pointsDone = j.at("done").asUInt();
-        rec.pointsTotal = j.at("total").asUInt();
-        rec.cacheHits = j.has("hits") ? j.at("hits").asUInt() : 0;
-        rec.wallSeconds = j.has("wall") ? j.at("wall").asDouble() : 0.0;
-        rec.finished = j.has("finished") && j.at("finished").asBool();
+        if (!parseProgressLine(line, rec))
+            continue;
         out = rec;
         found = true;
     }
@@ -125,6 +149,7 @@ aggregateProgress(const std::vector<ProgressRecord> &latest)
         sum.pointsDone += rec.pointsDone;
         sum.pointsTotal += rec.pointsTotal;
         sum.cacheHits += rec.cacheHits;
+        sum.stolen += rec.stolen;
         ++sum.shardsReporting;
         if (rec.finished)
             ++sum.shardsFinished;
@@ -145,8 +170,10 @@ renderProgressLine(const ProgressSummary &summary, unsigned shard_count,
 {
     std::ostringstream line;
     line << summary.pointsDone << "/" << summary.pointsTotal
-         << " points, " << summary.cacheHits << " hits, "
-         << summary.shardsFinished << "/" << shard_count
+         << " points, " << summary.cacheHits << " hits, ";
+    if (summary.stolen > 0)
+        line << summary.stolen << " stolen, ";
+    line << summary.shardsFinished << "/" << shard_count
          << " shards done, ";
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.1fs elapsed", elapsed_seconds);

@@ -2,14 +2,16 @@
  * @file
  * Worker heartbeat records and their coordinator-side aggregation.
  *
- * Each worker appends one JSON line per settled point to its own
- * progress file (`progress/shard-N.jsonl` under the shared store):
- * points done, cache hits, wall seconds since the worker started, and
- * a final `finished` record. One writer per file, flushed per line, so
- * a coordinator (or a human with tail -f) can watch a sweep converge;
- * a torn final line is simply ignored.
+ * Each worker appends one JSON line per settled point either to its
+ * own progress file (`progress/shard-N.jsonl` under the progress
+ * directory — local workers) or to its stdout (remote workers, whose
+ * ssh pipe the coordinator captures): points done, cache hits, points
+ * stolen from dead shards, wall seconds since the worker started, and
+ * a final `finished` record. One writer per stream, flushed per line,
+ * so a coordinator (or a human with tail -f) can watch a sweep
+ * converge; a torn final line is simply ignored.
  *
- * The coordinator reads the latest record of every shard's file and
+ * The coordinator reads the latest record of every shard's stream and
  * folds them into a ProgressSummary: total points done, aggregate
  * cache hits, and an ETA extrapolated from the observed rate.
  */
@@ -33,11 +35,12 @@ struct ProgressRecord
     std::size_t pointsDone = 0;
     std::size_t pointsTotal = 0;
     std::size_t cacheHits = 0;
+    std::size_t stolen = 0; ///< orphans adopted from dead shards.
     double wallSeconds = 0.0;
     bool finished = false;
 };
 
-/** Appends a shard's heartbeat records to one JSONL file. */
+/** Appends a shard's heartbeat records to one JSONL stream. */
 class ProgressWriter
 {
   public:
@@ -45,23 +48,36 @@ class ProgressWriter
      *  stream); an empty path makes every call a no-op. */
     ProgressWriter(const std::string &path, unsigned shard,
                    std::size_t points_total);
+
+    /** Heartbeats onto a borrowed stream (a remote worker's stdout,
+     *  captured by the coordinator through the ssh pipe). */
+    ProgressWriter(std::FILE *stream, unsigned shard,
+                   std::size_t points_total);
+
     ~ProgressWriter();
 
     ProgressWriter(const ProgressWriter &) = delete;
     ProgressWriter &operator=(const ProgressWriter &) = delete;
 
-    void update(std::size_t points_done, std::size_t cache_hits);
-    void finish(std::size_t points_done, std::size_t cache_hits);
+    void update(std::size_t points_done, std::size_t cache_hits,
+                std::size_t stolen = 0);
+    void finish(std::size_t points_done, std::size_t cache_hits,
+                std::size_t stolen = 0);
 
   private:
     void append(std::size_t points_done, std::size_t cache_hits,
-                bool finished);
+                std::size_t stolen, bool finished);
 
     std::FILE *file_ = nullptr;
+    bool owned_ = false;
     unsigned shard_;
     std::size_t pointsTotal_;
     std::chrono::steady_clock::time_point start_;
 };
+
+/** Parse one heartbeat line; false when `line` is not a record (torn
+ *  tails, interleaved human output on a captured stream). */
+bool parseProgressLine(const std::string &line, ProgressRecord &out);
 
 /** The newest well-formed record of a progress file, if any. */
 bool readLatestProgress(const std::string &path, ProgressRecord &out);
@@ -72,6 +88,7 @@ struct ProgressSummary
     std::size_t pointsDone = 0;
     std::size_t pointsTotal = 0;
     std::size_t cacheHits = 0;
+    std::size_t stolen = 0;
     unsigned shardsReporting = 0;
     unsigned shardsFinished = 0;
 
@@ -83,7 +100,7 @@ struct ProgressSummary
 ProgressSummary
 aggregateProgress(const std::vector<ProgressRecord> &latest);
 
-/** The per-shard progress file path under a store directory. */
+/** The per-shard progress file path under a progress directory. */
 std::string progressPath(const std::string &store_dir, unsigned shard);
 
 /** One-line human rendering ("12/16 points, 3 hits, 1/2 shards ..."). */

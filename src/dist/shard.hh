@@ -5,15 +5,19 @@
  *
  * The unit of work is the measurement digest — the same handle that
  * keys the result store — so the partition is a pure function of the
- * *set* of digests in the grid: stable under point reordering, across
- * processes, and across hosts. Every process of a distributed sweep
- * (coordinator, each worker, the merge pass) re-derives the same plan
- * from the spec instead of shipping assignments around.
+ * *set* of digests in the grid (plus an optional cost-hint snapshot):
+ * stable under point reordering, across processes, and across hosts.
+ * Every process of a distributed sweep (coordinator, each worker, the
+ * merge pass) re-derives the same plan from the spec instead of
+ * shipping assignments around; workers launched by a coordinator
+ * additionally read the manifest it recorded, which pins both the
+ * assignment and the cost hints it planned with.
  *
  * Planning is greedy LPT (longest processing time first): unique
- * digests sorted by descending estimated cost (cycles x runs, scaled
- * by thread count — wider machines simulate more work per cycle),
- * ties broken by digest, each assigned to the least-loaded shard.
+ * digests sorted by descending cost — the observed wall time recorded
+ * in the store manifest when a previous sweep measured that digest,
+ * else the estimate (cycles x runs, scaled by thread count) — ties
+ * broken by digest, each assigned to the least-loaded shard.
  * Duplicate points share their digest's shard, so no two shards ever
  * measure the same machine.
  */
@@ -26,14 +30,23 @@
 #include <string>
 #include <vector>
 
+#include "sweep/json.hh"
 #include "sweep/runner.hh"
 #include "sweep/spec.hh"
 
 namespace smt::dist
 {
 
-/** Relative simulation cost of one grid point. */
+/** Relative simulation cost of one grid point (the estimate used when
+ *  no observed cost is on record). */
 double estimatedPointCost(const sweep::SweepPoint &point);
+
+/** Observed per-digest wall seconds, keyed as the planner wants them. */
+using CostHints = std::map<std::string, double>;
+
+/** The cost hints a coordinator recorded in a store manifest
+ *  ("observedCosts"); empty when the manifest has none. */
+CostHints costHintsFromManifest(const sweep::Json &manifest);
 
 /** A deterministic partition of a grid into disjoint shards. */
 struct ShardPlan
@@ -50,16 +63,36 @@ struct ShardPlan
     /** Point indices per shard, in input order. */
     std::vector<std::vector<std::size_t>> members;
 
-    /** Estimated cost per shard (duplicates counted once). */
+    /** Cost per shard (duplicates counted once). */
     std::vector<double> cost;
 
     /** The order-independent digest -> shard assignment. */
     std::map<std::string, unsigned> shardOfDigest;
 };
 
-/** Partition `points` into `shard_count` disjoint shards. */
+/**
+ * Partition `points` into `shard_count` disjoint shards. A digest with
+ * an entry in `observed` is weighed by that observed wall time instead
+ * of its estimate — the dynamic cost feedback loop. The plan is a pure
+ * function of (digest set, observed snapshot).
+ */
 ShardPlan planShards(const std::vector<sweep::SweepPoint> &points,
-                     unsigned shard_count);
+                     unsigned shard_count,
+                     const CostHints &observed = {});
+
+/** How a worker lingers after its own shard to adopt orphaned work. */
+struct StealOptions
+{
+    bool enabled = false;
+
+    /** Keep polling for orphans this long after the last adoption
+     *  (and after finishing the shard) before giving up while other
+     *  shards still run. */
+    double waitSeconds = 10.0;
+
+    /** Store poll interval while lingering. */
+    double pollSeconds = 0.2;
+};
 
 /** One worker's share of a shard run. */
 struct ShardRunResult
@@ -67,16 +100,40 @@ struct ShardRunResult
     std::size_t points = 0;
     std::size_t cacheHits = 0;
     std::size_t cacheMisses = 0;
+    std::size_t stolen = 0; ///< orphaned digests adopted and measured.
     double wallSeconds = 0.0;
 };
 
+/** The worker protocol's knobs (`smtsweep --shard i/N ...`). */
+struct ShardWorkerOptions
+{
+    unsigned index = 0;
+    unsigned count = 1;
+
+    /** JSONL heartbeat file; empty = none (see progressToStdout). */
+    std::string progressPath;
+
+    /** Heartbeat to stdout instead — remote workers, whose stdout the
+     *  coordinator captures through the ssh pipe. */
+    bool progressToStdout = false;
+
+    StealOptions steal;
+};
+
 /**
- * Run shard `shard_index` of `shard_count` of an experiment into the
- * shared store (ropts.cacheDir must name it). Expands and plans
- * locally — identical inputs yield identical plans in every worker.
- * `progress_path`, when non-empty, receives JSONL heartbeat records
- * a coordinator can aggregate (see dist/progress.hh).
+ * Run one shard of an experiment into the shared store
+ * (ropts.cacheDir names it — a directory or a store URL). The
+ * assignment comes from the store manifest when the coordinator
+ * recorded one for this digest set, else from a local planShards() —
+ * identical inputs yield identical plans in every worker. With
+ * stealing enabled the worker lingers after its own slice and adopts
+ * orphaned digests of dead shards through the store's claim CAS.
  */
+ShardRunResult runShard(const sweep::ExperimentSpec &spec,
+                        const sweep::RunnerOptions &ropts,
+                        const ShardWorkerOptions &wopts);
+
+/** Convenience overload (no stealing, optional progress file). */
 ShardRunResult runShard(const sweep::ExperimentSpec &spec,
                         const sweep::RunnerOptions &ropts,
                         unsigned shard_index, unsigned shard_count,

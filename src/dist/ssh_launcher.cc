@@ -1,0 +1,230 @@
+#include "dist/ssh_launcher.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace smt::dist
+{
+
+std::string
+shellQuoteArg(const std::string &arg)
+{
+    // Single quotes pass everything literally; an embedded single
+    // quote becomes '\'' (close, escaped quote, reopen).
+    std::string quoted = "'";
+    for (char c : arg) {
+        if (c == '\'')
+            quoted += "'\\''";
+        else
+            quoted += c;
+    }
+    quoted += "'";
+    return quoted;
+}
+
+std::vector<std::string>
+sshArgv(const std::string &ssh_program, const std::string &host,
+        const std::vector<std::string> &argv)
+{
+    std::string command = "exec";
+    for (const std::string &arg : argv) {
+        command += ' ';
+        command += shellQuoteArg(arg);
+    }
+    // BatchMode forbids password prompts (a coordinator cannot answer
+    // them); the remote command is one quoted word.
+    return {ssh_program, "-o", "BatchMode=yes", host, command};
+}
+
+std::vector<std::string>
+parseHostList(const std::string &host_list)
+{
+    std::vector<std::string> hosts;
+    std::size_t pos = 0;
+    while (pos <= host_list.size()) {
+        const std::size_t comma = host_list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? host_list.size() : comma;
+        if (end > pos)
+            hosts.push_back(host_list.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return hosts;
+}
+
+SshWorkerLauncher::SshWorkerLauncher(std::vector<std::string> hosts,
+                                     std::string ssh_program)
+    : hosts_(std::move(hosts)), sshProgram_(std::move(ssh_program))
+{
+    smt_assert(!hosts_.empty(), "SshWorkerLauncher needs hosts");
+}
+
+long
+SshWorkerLauncher::launch(unsigned shard,
+                          const std::vector<std::string> &argv)
+{
+    const std::string &host = hosts_[shard % hosts_.size()];
+    const std::vector<std::string> full =
+        sshArgv(sshProgram_, host, argv);
+
+    std::vector<char *> cargv;
+    cargv.reserve(full.size() + 1);
+    for (const std::string &arg : full)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        smt_fatal("cannot create the capture pipe for shard %u", shard);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        smt_fatal("cannot fork ssh for shard %u", shard);
+    if (pid == 0) {
+        ::close(pipe_fds[0]);
+        ::dup2(pipe_fds[1], STDOUT_FILENO);
+        ::dup2(pipe_fds[1], STDERR_FILENO);
+        ::close(pipe_fds[1]);
+        ::execvp(cargv[0], cargv.data());
+        std::fprintf(stderr, "smtsweep-dist: cannot exec %s\n", cargv[0]);
+        ::_exit(127);
+    }
+    ::close(pipe_fds[1]);
+    ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+
+    Capture cap;
+    cap.shard = shard;
+    cap.fd = pipe_fds[0];
+    captures_[pid] = std::move(cap);
+    return pid;
+}
+
+void
+SshWorkerLauncher::drain(Capture &cap)
+{
+    if (cap.fd < 0)
+        return;
+    char buf[8192];
+    while (true) {
+        const ssize_t n = ::read(cap.fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN: nothing more right now.
+        }
+        if (n == 0) { // writer closed: the worker is gone.
+            ::close(cap.fd);
+            cap.fd = -1;
+            break;
+        }
+        cap.pending.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t nl = cap.pending.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        const std::string line = cap.pending.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty())
+            continue;
+        ProgressRecord rec;
+        if (parseProgressLine(line, rec)) {
+            cap.latest = rec;
+            cap.hasLatest = true;
+        } else {
+            std::fprintf(stderr, "[shard %u] %s\n", cap.shard,
+                         line.c_str());
+        }
+    }
+    cap.pending.erase(0, start);
+}
+
+void
+SshWorkerLauncher::closeCapture(Capture &cap)
+{
+    drain(cap);
+    if (!cap.pending.empty()) { // a final line without its newline.
+        std::fprintf(stderr, "[shard %u] %s\n", cap.shard,
+                     cap.pending.c_str());
+        cap.pending.clear();
+    }
+    if (cap.fd >= 0) {
+        ::close(cap.fd);
+        cap.fd = -1;
+    }
+}
+
+bool
+SshWorkerLauncher::poll(long handle, int &exit_code)
+{
+    auto it = captures_.find(handle);
+    smt_assert(it != captures_.end(), "polling an unknown worker");
+    Capture &cap = it->second;
+    drain(cap);
+    if (cap.exited) {
+        exit_code = cap.exitCode;
+        return true;
+    }
+
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(handle), &status,
+                              WNOHANG);
+    if (r == 0)
+        return false;
+    if (r < 0)
+        cap.exitCode = 127; // already reaped (or never ours).
+    else if (WIFEXITED(status))
+        cap.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        cap.exitCode = 128 + WTERMSIG(status);
+    else
+        return false; // stopped/continued; keep polling.
+    cap.exited = true;
+    closeCapture(cap);
+    exit_code = cap.exitCode;
+    return true;
+}
+
+void
+SshWorkerLauncher::wait(long handle, int &exit_code)
+{
+    // The pipe must keep draining while we wait, or a chatty worker
+    // blocks on a full pipe and never exits; poll with short sleeps.
+    while (!poll(handle, exit_code))
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+void
+SshWorkerLauncher::terminate(long handle)
+{
+    ::kill(static_cast<pid_t>(handle), SIGTERM);
+    int exit_code = 0;
+    wait(handle, exit_code);
+}
+
+bool
+SshWorkerLauncher::latestProgress(long handle, ProgressRecord &out)
+{
+    auto it = captures_.find(handle);
+    if (it == captures_.end())
+        return false;
+    drain(it->second);
+    if (!it->second.hasLatest)
+        return false;
+    out = it->second.latest;
+    return true;
+}
+
+} // namespace smt::dist

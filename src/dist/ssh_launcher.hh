@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The remote worker backend: launch `smtsweep --shard i/N` on a host
+ * list over ssh.
+ *
+ * Each worker is an ssh child process (`ssh -o BatchMode=yes HOST
+ * 'exec smtsweep ...'`, hosts assigned round-robin from the --hosts
+ * list) whose stdout+stderr the coordinator captures through a pipe.
+ * Remote workers heartbeat to their stdout (`--progress-stdout`), so
+ * the capture stream carries both progress records — parsed into the
+ * same ProgressRecord the file-based path uses — and ordinary worker
+ * output, which is forwarded to the coordinator's stderr prefixed
+ * with its shard ("[shard 1] ..."). No agent, daemon, or shared
+ * filesystem is required on the remote side beyond a reachable
+ * `smtsweep` binary and the store URL.
+ *
+ * The ssh program itself is injectable (--ssh); tests substitute a
+ * stub that runs the command locally, exercising the entire
+ * pipe/capture/heartbeat path without an sshd.
+ */
+
+#ifndef SMT_DIST_SSH_LAUNCHER_HH
+#define SMT_DIST_SSH_LAUNCHER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hh"
+#include "dist/progress.hh"
+
+namespace smt::dist
+{
+
+/** Quote one argument for the remote POSIX shell ssh invokes. */
+std::string shellQuoteArg(const std::string &arg);
+
+/** The local argv for one remote worker launch: ssh_program, options,
+ *  the host, and the quoted remote command. */
+std::vector<std::string> sshArgv(const std::string &ssh_program,
+                                 const std::string &host,
+                                 const std::vector<std::string> &argv);
+
+/** Parse "hostA,hostB,user@hostC" (empty names skipped). */
+std::vector<std::string> parseHostList(const std::string &host_list);
+
+class SshWorkerLauncher final : public WorkerLauncher
+{
+  public:
+    explicit SshWorkerLauncher(std::vector<std::string> hosts,
+                               std::string ssh_program = "ssh");
+
+    long launch(unsigned shard,
+                const std::vector<std::string> &argv) override;
+    bool poll(long handle, int &exit_code) override;
+    void wait(long handle, int &exit_code) override;
+    void terminate(long handle) override;
+
+    bool capturesProgress() const override { return true; }
+    bool latestProgress(long handle, ProgressRecord &out) override;
+
+    const std::vector<std::string> &hosts() const { return hosts_; }
+
+  private:
+    struct Capture
+    {
+        unsigned shard = 0;
+        int fd = -1; ///< read end of the child's stdout+stderr pipe.
+        std::string pending; ///< bytes short of a complete line.
+        ProgressRecord latest;
+        bool hasLatest = false;
+        bool exited = false;
+        int exitCode = 0;
+    };
+
+    /** Non-blocking drain of the capture pipe; forwards non-record
+     *  lines, remembers the newest heartbeat. */
+    void drain(Capture &cap);
+    void closeCapture(Capture &cap);
+
+    std::vector<std::string> hosts_;
+    std::string sshProgram_;
+    std::map<long, Capture> captures_; ///< keyed by child pid.
+};
+
+} // namespace smt::dist
+
+#endif // SMT_DIST_SSH_LAUNCHER_HH

@@ -1,0 +1,323 @@
+#include "net/http.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace smt::net
+{
+
+namespace
+{
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i]))
+            != std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Parse "Name: value" header lines until the blank line. */
+bool
+readHeaderBlock(BufferedReader &in, Headers &headers)
+{
+    std::string line;
+    for (int count = 0; count < 512; ++count) {
+        if (!in.readLine(line))
+            return false;
+        if (line.empty())
+            return true;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return false;
+        headers.add(trim(line.substr(0, colon)),
+                    trim(line.substr(colon + 1)));
+    }
+    return false; // absurd header count: treat as malformed.
+}
+
+/** Append the chunked-framed body; false on torn/malformed input. */
+bool
+readChunkedBody(BufferedReader &in, std::string &body,
+                std::size_t max_body)
+{
+    std::string line;
+    while (true) {
+        if (!in.readLine(line))
+            return false;
+        // Chunk extensions (";...") are permitted and ignored.
+        const std::string size_text = line.substr(0, line.find(';'));
+        char *end = nullptr;
+        const unsigned long long size =
+            std::strtoull(size_text.c_str(), &end, 16);
+        if (end == size_text.c_str())
+            return false;
+        if (size == 0)
+            break;
+        // Overflow-proof cap check: a chunk header of 2^64-1 must not
+        // wrap the sum past max_body.
+        if (size > max_body - body.size())
+            return false;
+        if (!in.readExact(body, size))
+            return false;
+        if (!in.readLine(line) || !line.empty())
+            return false; // chunk data must end with CRLF.
+    }
+    // Trailers (we ignore their content) up to the final blank line.
+    while (true) {
+        if (!in.readLine(line))
+            return false;
+        if (line.empty())
+            return true;
+    }
+}
+
+/** Shared body framing for requests and responses. */
+bool
+readBody(BufferedReader &in, const Headers &headers, std::string &body,
+         std::size_t max_body, bool response_to_eof_ok)
+{
+    if (iequals(headers.get("Transfer-Encoding"), "chunked"))
+        return readChunkedBody(in, body, max_body);
+    if (headers.has("Content-Length")) {
+        const std::string text = headers.get("Content-Length");
+        char *end = nullptr;
+        const unsigned long long len =
+            std::strtoull(text.c_str(), &end, 10);
+        if (end == text.c_str() || *end != '\0' || len > max_body)
+            return false;
+        return in.readExact(body, len);
+    }
+    // No framing headers: a request has no body; a response is framed
+    // by connection close (pre-keep-alive style).
+    if (response_to_eof_ok)
+        return in.readToEof(body);
+    return true;
+}
+
+void
+appendChunked(std::string &out, const std::string &body)
+{
+    // Several moderate chunks rather than one, so peers exercise the
+    // real multi-chunk path.
+    constexpr std::size_t kChunk = 4096;
+    char size_line[32];
+    for (std::size_t off = 0; off < body.size(); off += kChunk) {
+        const std::size_t n = std::min(kChunk, body.size() - off);
+        std::snprintf(size_line, sizeof size_line, "%zx\r\n", n);
+        out += size_line;
+        out.append(body, off, n);
+        out += "\r\n";
+    }
+    out += "0\r\n\r\n";
+}
+
+void
+appendHeaders(std::string &out, const Headers &headers,
+              std::size_t body_size, bool chunked)
+{
+    for (const auto &[name, value] : headers.items()) {
+        // Framing is ours to emit consistently from the actual body;
+        // caller-set framing headers are dropped, not trusted.
+        if (iequals(name, "Content-Length")
+            || iequals(name, "Transfer-Encoding"))
+            continue;
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+    }
+    if (chunked)
+        out += "Transfer-Encoding: chunked\r\n";
+    else
+        out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+    out += "\r\n";
+}
+
+} // namespace
+
+void
+Headers::set(const std::string &name, const std::string &value)
+{
+    for (auto &[n, v] : items_) {
+        if (iequals(n, name)) {
+            v = value;
+            return;
+        }
+    }
+    items_.emplace_back(name, value);
+}
+
+void
+Headers::add(const std::string &name, const std::string &value)
+{
+    items_.emplace_back(name, value);
+}
+
+bool
+Headers::has(const std::string &name) const
+{
+    for (const auto &[n, v] : items_) {
+        if (iequals(n, name))
+            return true;
+    }
+    return false;
+}
+
+std::string
+Headers::get(const std::string &name) const
+{
+    for (const auto &[n, v] : items_) {
+        if (iequals(n, name))
+            return v;
+    }
+    return "";
+}
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 201:
+        return "Created";
+    case 204:
+        return "No Content";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    case 405:
+        return "Method Not Allowed";
+    case 409:
+        return "Conflict";
+    case 411:
+        return "Length Required";
+    case 413:
+        return "Payload Too Large";
+    case 500:
+        return "Internal Server Error";
+    default:
+        return "Unknown";
+    }
+}
+
+bool
+wantsClose(const Headers &headers)
+{
+    return iequals(headers.get("Connection"), "close");
+}
+
+std::string
+serialize(const HttpRequest &req)
+{
+    std::string out = req.method + " " + req.target + " HTTP/1.1\r\n";
+    appendHeaders(out, req.headers, req.body.size(), req.chunked);
+    if (req.chunked)
+        appendChunked(out, req.body);
+    else
+        out += req.body;
+    return out;
+}
+
+std::string
+serialize(const HttpResponse &resp)
+{
+    const std::string reason =
+        resp.reason.empty() ? reasonPhrase(resp.status) : resp.reason;
+    std::string out =
+        "HTTP/1.1 " + std::to_string(resp.status) + " " + reason + "\r\n";
+    appendHeaders(out, resp.headers, resp.body.size(), resp.chunked);
+    if (resp.chunked)
+        appendChunked(out, resp.body);
+    else
+        out += resp.body;
+    return out;
+}
+
+bool
+readRequest(BufferedReader &in, HttpRequest &out, std::size_t max_body)
+{
+    std::string line;
+    if (!in.readLine(line) || line.empty())
+        return false;
+
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos)
+        return false;
+    HttpRequest req;
+    req.method = line.substr(0, sp1);
+    req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (version.rfind("HTTP/1.", 0) != 0 || req.target.empty())
+        return false;
+
+    if (!readHeaderBlock(in, req.headers))
+        return false;
+    if (!readBody(in, req.headers, req.body, max_body,
+                  /*response_to_eof_ok=*/false))
+        return false;
+    out = std::move(req);
+    return true;
+}
+
+bool
+readResponse(BufferedReader &in, HttpResponse &out, bool head_request,
+             std::size_t max_body)
+{
+    std::string line;
+    if (!in.readLine(line))
+        return false;
+    if (line.rfind("HTTP/1.", 0) != 0)
+        return false;
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos)
+        return false;
+    HttpResponse resp;
+    char *end = nullptr;
+    resp.status =
+        static_cast<int>(std::strtol(line.c_str() + sp1 + 1, &end, 10));
+    if (resp.status < 100 || resp.status > 599)
+        return false;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos)
+        resp.reason = line.substr(sp2 + 1);
+
+    if (!readHeaderBlock(in, resp.headers))
+        return false;
+    // HEAD responses and 204/304 never carry a body regardless of
+    // their framing headers.
+    if (!head_request && resp.status != 204 && resp.status != 304) {
+        const bool framed = resp.headers.has("Content-Length")
+                            || resp.headers.has("Transfer-Encoding");
+        if (!readBody(in, resp.headers, resp.body, max_body,
+                      /*response_to_eof_ok=*/!framed
+                          && wantsClose(resp.headers)))
+            return false;
+    }
+    out = std::move(resp);
+    return true;
+}
+
+} // namespace smt::net

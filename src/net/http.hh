@@ -1,0 +1,100 @@
+/**
+ * @file
+ * HTTP/1.1 messages: parse and serialize over blocking sockets.
+ *
+ * Deliberately the useful subset and nothing more: request line +
+ * status line, case-insensitive headers, bodies framed by
+ * Content-Length or chunked transfer encoding (both directions), and
+ * HTTP/1.1 keep-alive semantics (persistent unless either side says
+ * `Connection: close`). No TLS, no compression, no HTTP/2 — the sweep
+ * store speaks digest-verified JSON over loopback or a trusted LAN,
+ * where this is exactly enough.
+ *
+ * Reading is tolerant of torn peers (a connection dropped mid-message
+ * reads as failure, never a crash or a half-parsed message); writing
+ * always emits one complete, correctly framed message.
+ */
+
+#ifndef SMT_NET_HTTP_HH
+#define SMT_NET_HTTP_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hh"
+
+namespace smt::net
+{
+
+/** Ordered header list with case-insensitive lookup. */
+class Headers
+{
+  public:
+    void set(const std::string &name, const std::string &value);
+    void add(const std::string &name, const std::string &value);
+    bool has(const std::string &name) const;
+    /** First value of `name`, or "" when absent. */
+    std::string get(const std::string &name) const;
+
+    const std::vector<std::pair<std::string, std::string>> &
+    items() const
+    {
+        return items_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> items_;
+};
+
+struct HttpRequest
+{
+    std::string method = "GET";
+    std::string target = "/";
+    Headers headers;
+    std::string body;
+
+    /** Send the body chunked instead of Content-Length framed. */
+    bool chunked = false;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string reason; ///< filled from `status` when empty.
+    Headers headers;
+    std::string body;
+    bool chunked = false;
+
+    bool ok() const { return status >= 200 && status < 300; }
+};
+
+/** The standard reason phrase for a status code ("OK", "Not Found"). */
+const char *reasonPhrase(int status);
+
+/** True when this message's `Connection` header asks to drop the
+ *  connection after the exchange (HTTP/1.1 defaults to keep-alive). */
+bool wantsClose(const Headers &headers);
+
+/** Serialize a complete message (adds Content-Length or chunked
+ *  framing; never mutates the input). */
+std::string serialize(const HttpRequest &req);
+std::string serialize(const HttpResponse &resp);
+
+/**
+ * Read one complete message. False on EOF, a torn connection, or a
+ * malformed message — the caller must drop the connection. Bodies
+ * larger than `max_body` bytes are rejected as malformed.
+ */
+bool readRequest(BufferedReader &in, HttpRequest &out,
+                 std::size_t max_body = 256 * 1024 * 1024);
+
+/** `head_request` marks the response to a HEAD: framing headers
+ *  describe the entity, but no body bytes follow. */
+bool readResponse(BufferedReader &in, HttpResponse &out,
+                  bool head_request = false,
+                  std::size_t max_body = 256 * 1024 * 1024);
+
+} // namespace smt::net
+
+#endif // SMT_NET_HTTP_HH

@@ -1,0 +1,122 @@
+#include "net/http_server.hh"
+
+#include "common/logging.hh"
+
+namespace smt::net
+{
+
+bool
+HttpServer::start(const std::string &bind_addr, std::uint16_t port,
+                  Handler handler, std::string *error)
+{
+    smt_assert(!running_, "HttpServer started twice");
+    listener_ = listenTcp(bind_addr, port, 64, error);
+    if (!listener_.valid())
+        return false;
+    port_ = boundPort(listener_);
+    handler_ = std::move(handler);
+    running_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+
+    // Closing the listener unblocks accept(); shutting the connection
+    // sockets down unblocks their readers without racing fd lifetime
+    // (the owning thread still closes its own socket).
+    listener_.shutdownBoth();
+    listener_.close();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &[id, sock] : connections_)
+            sock.shutdownBoth();
+    }
+    acceptThread_.join();
+
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &[id, t] : connThreads_)
+            threads.push_back(std::move(t));
+        connThreads_.clear();
+        finished_.clear();
+    }
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+HttpServer::reapFinishedLocked(std::vector<std::thread> &out)
+{
+    for (std::uint64_t id : finished_) {
+        auto it = connThreads_.find(id);
+        if (it != connThreads_.end()) {
+            out.push_back(std::move(it->second));
+            connThreads_.erase(it);
+        }
+    }
+    finished_.clear();
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (running_) {
+        Socket conn = acceptConn(listener_);
+        if (!conn.valid())
+            break; // listener closed (stop()) or a fatal accept error.
+
+        std::vector<std::thread> done;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            reapFinishedLocked(done);
+            const std::uint64_t id = nextConn_++;
+            connections_.emplace(id, std::move(conn));
+            connThreads_.emplace(
+                id, std::thread([this, id] { serveConnection(id); }));
+        }
+        for (std::thread &t : done)
+            t.join();
+    }
+}
+
+void
+HttpServer::serveConnection(std::uint64_t id)
+{
+    Socket *sock = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = connections_.find(id);
+        smt_assert(it != connections_.end());
+        sock = &it->second; // node-stable; only this thread erases it.
+    }
+
+    BufferedReader reader(*sock);
+    while (running_) {
+        HttpRequest req;
+        if (!readRequest(reader, req))
+            break; // closed, torn, or malformed: drop the connection.
+
+        HttpResponse resp = handler_(req);
+        const bool close_after =
+            wantsClose(req.headers) || wantsClose(resp.headers);
+        if (close_after)
+            resp.headers.set("Connection", "close");
+        if (!sock->sendAll(serialize(resp)))
+            break;
+        if (close_after)
+            break;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.erase(id);
+    finished_.push_back(id);
+}
+
+} // namespace smt::net

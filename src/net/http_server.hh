@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A small blocking HTTP/1.1 server.
+ *
+ * One accept thread, one thread per live connection, keep-alive until
+ * the client closes (or asks to). The handler is a plain function from
+ * request to response, called concurrently from connection threads —
+ * handlers synchronize their own shared state. stop() is clean and
+ * prompt: it closes the listener, shuts down every open connection,
+ * and joins all threads, so tests can start a server on an ephemeral
+ * port (port 0 + port()) and tear it down deterministically.
+ */
+
+#ifndef SMT_NET_HTTP_SERVER_HH
+#define SMT_NET_HTTP_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.hh"
+#include "net/socket.hh"
+
+namespace smt::net
+{
+
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    HttpServer() = default;
+    ~HttpServer() { stop(); }
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Bind and start serving. Port 0 binds an ephemeral port (read it
+     * back with port()). False with a reason in `error` on failure.
+     */
+    bool start(const std::string &bind_addr, std::uint16_t port,
+               Handler handler, std::string *error = nullptr);
+
+    /** The bound port (valid after a successful start). */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const { return running_; }
+
+    /** Shut down: stop accepting, drop every connection, join. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void serveConnection(std::uint64_t id);
+    void reapFinishedLocked(std::vector<std::thread> &out);
+
+    Handler handler_;
+    Socket listener_;
+    std::uint16_t port_ = 0;
+    bool running_ = false;
+    std::thread acceptThread_;
+
+    std::mutex mu_;
+    std::uint64_t nextConn_ = 0;
+    std::map<std::uint64_t, Socket> connections_;
+    std::map<std::uint64_t, std::thread> connThreads_;
+    std::vector<std::uint64_t> finished_;
+};
+
+} // namespace smt::net
+
+#endif // SMT_NET_HTTP_SERVER_HH

@@ -37,6 +37,20 @@ digestHex(const std::string &bytes)
     return buf;
 }
 
+bool
+looksLikeDigest(const std::string &name)
+{
+    if (name.size() != 32)
+        return false;
+    for (char c : name) {
+        const bool digit = c >= '0' && c <= '9';
+        const bool hex = c >= 'a' && c <= 'f';
+        if (!digit && !hex)
+            return false;
+    }
+    return true;
+}
+
 Json
 measurementKey(const SmtConfig &cfg, const MeasureOptions &opts)
 {

@@ -32,6 +32,10 @@ constexpr unsigned kDigestSchema = 1;
 /** 128-bit hash of arbitrary bytes, as 32 lowercase hex digits. */
 std::string digestHex(const std::string &bytes);
 
+/** True when `name` has the shape of a digest (32 lowercase hex
+ *  digits) — used to vet store filenames and wire-protocol paths. */
+bool looksLikeDigest(const std::string &name);
+
 /** The canonical key a measurement digest is computed over. */
 Json measurementKey(const SmtConfig &cfg, const MeasureOptions &opts);
 

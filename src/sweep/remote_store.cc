@@ -1,0 +1,304 @@
+#include "sweep/remote_store.hh"
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "sweep/digest.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/serialize.hh"
+#include "sweep/store_service.hh"
+
+namespace smt::sweep
+{
+
+namespace
+{
+
+/** Strip the optional quotes of an ETag header value. */
+std::string
+unquoteEtag(const std::string &etag)
+{
+    if (etag.size() >= 2 && etag.front() == '"' && etag.back() == '"')
+        return etag.substr(1, etag.size() - 2);
+    return etag;
+}
+
+} // namespace
+
+bool
+isRemoteStoreLocator(const std::string &locator)
+{
+    return net::isHttpUrl(locator);
+}
+
+RemoteResultStore::RemoteResultStore(const net::Url &url)
+    : url_(url), client_(url.host, url.port)
+{
+}
+
+std::string
+RemoteResultStore::resourcePath(const std::string &resource) const
+{
+    const std::string base = url_.path == "/" ? "" : url_.path;
+    return base + resource;
+}
+
+std::optional<net::HttpResponse>
+RemoteResultStore::exchange(const std::string &method,
+                            const std::string &resource,
+                            const std::string &body,
+                            const std::string &content_digest) const
+{
+    net::HttpRequest req;
+    req.method = method;
+    req.target = resourcePath(resource);
+    req.body = body;
+    if (!body.empty())
+        req.headers.set("Content-Type", "application/json");
+    if (!content_digest.empty())
+        req.headers.set("X-Content-Digest", content_digest);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    return client_.request(req);
+}
+
+std::optional<SimStats>
+RemoteResultStore::lookup(const std::string &digest) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/entries/" + digest);
+    if (!resp.has_value() || !resp->ok())
+        return std::nullopt;
+
+    // ETag check first: bytes corrupted in transit are a miss, exactly
+    // like a corrupt local entry file.
+    const std::string etag = unquoteEtag(resp->headers.get("ETag"));
+    if (!etag.empty() && etag != contentDigest(resp->body))
+        return std::nullopt;
+
+    Json entry;
+    if (!Json::parse(resp->body, entry)
+        || entry.type() != Json::Type::Object || !entry.has("digest")
+        || !entry.has("stats")
+        || entry.at("digest").asString() != digest)
+        return std::nullopt;
+    SimStats stats;
+    if (!simStatsFromJson(entry.at("stats"), stats))
+        return std::nullopt;
+    return stats;
+}
+
+void
+RemoteResultStore::store(const std::string &digest, const SmtConfig &cfg,
+                         const MeasureOptions &opts,
+                         const SimStats &stats, double measure_seconds)
+{
+    // The exact bytes LocalDirStore would put on disk, so a store
+    // directory serves identically whichever side wrote each entry.
+    const std::string text =
+        makeEntryJson(digest, cfg, opts, stats, measure_seconds).dump(2)
+        + "\n";
+    const std::optional<net::HttpResponse> resp =
+        exchange("PUT", "/v1/entries/" + digest, text,
+                 contentDigest(text));
+    if (!resp.has_value() || !resp->ok())
+        smt_warn("remote store %s rejected entry %s (%s); the result "
+                 "is lost from the cache",
+                 description().c_str(), digest.c_str(),
+                 resp.has_value() ? std::to_string(resp->status).c_str()
+                                  : client_.lastError().c_str());
+}
+
+std::optional<double>
+RemoteResultStore::observedCost(const std::string &digest) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/costs/" + digest);
+    if (!resp.has_value() || !resp->ok())
+        return std::nullopt;
+    Json doc;
+    if (!Json::parse(resp->body, doc)
+        || doc.type() != Json::Type::Object || !doc.has("seconds")
+        || !doc.at("seconds").isNumber())
+        return std::nullopt;
+    const double seconds = doc.at("seconds").asDouble();
+    return seconds > 0.0 ? std::optional<double>(seconds) : std::nullopt;
+}
+
+std::map<std::string, double>
+RemoteResultStore::observedCosts() const
+{
+    std::map<std::string, double> costs;
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/costs");
+    if (!resp.has_value() || !resp->ok())
+        return costs;
+    Json doc;
+    if (!Json::parse(resp->body, doc)
+        || doc.type() != Json::Type::Object || !doc.has("costs")
+        || doc.at("costs").type() != Json::Type::Object)
+        return costs;
+    for (const auto &[digest, seconds] : doc.at("costs").items()) {
+        if (seconds.isNumber() && seconds.asDouble() > 0.0)
+            costs.emplace(digest, seconds.asDouble());
+    }
+    return costs;
+}
+
+void
+RemoteResultStore::markInProgress(const std::string &digest)
+{
+    exchange("PUT", "/v1/markers/" + digest,
+             makeSelfMarker().dump(2) + "\n");
+}
+
+void
+RemoteResultStore::clearInProgress(const std::string &digest)
+{
+    exchange("DELETE", "/v1/markers/" + digest);
+}
+
+void
+RemoteResultStore::markOrphaned(const std::string &digest)
+{
+    exchange("POST", "/v1/markers/" + digest + "/orphan");
+}
+
+std::string
+RemoteResultStore::readMarkerText(const std::string &digest) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/markers/" + digest);
+    if (!resp.has_value() || !resp->ok())
+        return "";
+    return resp->body;
+}
+
+bool
+RemoteResultStore::tryAdopt(const std::string &digest,
+                            const std::string &expected_marker)
+{
+    Json claim = Json::object();
+    claim.set("expect", Json(expected_marker));
+    claim.set("marker", makeSelfMarker());
+    const std::optional<net::HttpResponse> resp =
+        exchange("POST", "/v1/claims/" + digest, claim.dump() + "\n");
+    return resp.has_value() && resp->ok();
+}
+
+WorkState
+RemoteResultStore::state(const std::string &digest) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/state/" + digest);
+    if (resp.has_value() && resp->ok()) {
+        Json doc;
+        if (Json::parse(resp->body, doc)
+            && doc.type() == Json::Type::Object && doc.has("state")) {
+            const std::string &text = doc.at("state").asString();
+            if (text == "done")
+                return WorkState::Done;
+            if (text == "in-progress")
+                return WorkState::InProgress;
+            if (text == "orphaned")
+                return WorkState::Orphaned;
+        }
+    }
+    // Unreachable server: nothing is known to be done or claimed.
+    return WorkState::Pending;
+}
+
+std::vector<std::string>
+RemoteResultStore::storedDigests() const
+{
+    std::vector<std::string> digests;
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/entries");
+    if (!resp.has_value() || !resp->ok())
+        return digests;
+    Json doc;
+    if (!Json::parse(resp->body, doc)
+        || doc.type() != Json::Type::Object || !doc.has("digests"))
+        return digests;
+    const Json &list = doc.at("digests");
+    for (std::size_t i = 0; i < list.size(); ++i)
+        digests.push_back(list[i].asString());
+    return digests;
+}
+
+void
+RemoteResultStore::writeManifest(const Json &manifest)
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("PUT", "/v1/manifest", manifest.dump(2) + "\n");
+    if (!resp.has_value() || !resp->ok())
+        smt_warn("cannot record the sweep manifest on %s",
+                 description().c_str());
+}
+
+std::optional<Json>
+RemoteResultStore::readManifest() const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/manifest");
+    if (!resp.has_value() || !resp->ok())
+        return std::nullopt;
+    Json manifest;
+    if (!Json::parse(resp->body, manifest))
+        return std::nullopt;
+    return manifest;
+}
+
+std::string
+RemoteResultStore::description() const
+{
+    std::string desc =
+        "http://" + url_.host + ":" + std::to_string(url_.port);
+    if (url_.path != "/")
+        desc += url_.path;
+    return desc;
+}
+
+bool
+RemoteResultStore::hasEntry(const std::string &digest) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("HEAD", "/v1/entries/" + digest);
+    return resp.has_value() && resp->ok();
+}
+
+bool
+RemoteResultStore::ping(std::string *error) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/ping");
+    if (resp.has_value() && resp->ok())
+        return true;
+    if (error != nullptr)
+        *error = resp.has_value()
+                     ? "unexpected status "
+                           + std::to_string(resp->status)
+                     : client_.lastError();
+    return false;
+}
+
+std::unique_ptr<ResultStore>
+openRemoteStore(const std::string &locator)
+{
+    net::Url url;
+    if (!net::parseUrl(locator, url))
+        smt_fatal("malformed store URL \"%s\" (expected "
+                  "http://host:port)",
+                  locator.c_str());
+    // smtstore mounts the protocol at /v1, not under a base prefix; a
+    // path in the locator would silently 404 every request, so refuse
+    // it up front.
+    if (url.path != "/")
+        smt_fatal("store URL \"%s\" has a path component (\"%s\"); "
+                  "smtstore serves at the root — use http://%s:%u",
+                  locator.c_str(), url.path.c_str(), url.host.c_str(),
+                  static_cast<unsigned>(url.port));
+    return std::make_unique<RemoteResultStore>(url);
+}
+
+} // namespace smt::sweep

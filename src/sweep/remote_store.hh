@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The result-store wire protocol, client side.
+ *
+ * RemoteResultStore implements the ResultStore interface over HTTP
+ * against a running `smtstore` server, so shards on different machines
+ * share one store by URL instead of one filesystem. Semantics mirror
+ * LocalDirStore exactly: corrupt, torn, or unreachable entries are
+ * misses (never errors), stores are atomic on the server, markers are
+ * advisory. Entry payloads are digest-verified in both directions —
+ * GETs check the server's ETag against the received bytes, PUTs
+ * declare X-Content-Digest so the server rejects torn uploads — which
+ * makes a network flake indistinguishable from a cache miss, the safe
+ * failure mode.
+ */
+
+#ifndef SMT_SWEEP_REMOTE_STORE_HH
+#define SMT_SWEEP_REMOTE_STORE_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/http_client.hh"
+#include "sweep/result_store.hh"
+
+namespace smt::sweep
+{
+
+/** True when `locator` names a remote store ("http://..."). */
+bool isRemoteStoreLocator(const std::string &locator);
+
+class RemoteResultStore final : public ResultStore
+{
+  public:
+    /** Connects lazily; a dead server degrades to all-misses. */
+    explicit RemoteResultStore(const net::Url &url);
+
+    std::optional<SimStats>
+    lookup(const std::string &digest) const override;
+    void store(const std::string &digest, const SmtConfig &cfg,
+               const MeasureOptions &opts, const SimStats &stats,
+               double measure_seconds = 0.0) override;
+    std::optional<double>
+    observedCost(const std::string &digest) const override;
+    std::map<std::string, double> observedCosts() const override;
+    void markInProgress(const std::string &digest) override;
+    void clearInProgress(const std::string &digest) override;
+    void markOrphaned(const std::string &digest) override;
+    std::string readMarkerText(const std::string &digest) const override;
+    bool tryAdopt(const std::string &digest,
+                  const std::string &expected_marker) override;
+    WorkState state(const std::string &digest) const override;
+    std::vector<std::string> storedDigests() const override;
+    void writeManifest(const Json &manifest) override;
+    std::optional<Json> readManifest() const override;
+    std::string description() const override;
+
+    /** Entry presence without transferring the body (HEAD). */
+    bool hasEntry(const std::string &digest) const;
+
+    /** One round-trip liveness probe (GET /v1/ping). */
+    bool ping(std::string *error = nullptr) const;
+
+  private:
+    std::optional<net::HttpResponse>
+    exchange(const std::string &method, const std::string &resource,
+             const std::string &body = "",
+             const std::string &content_digest = "") const;
+    std::string resourcePath(const std::string &resource) const;
+
+    net::Url url_;
+    mutable std::mutex mu_; ///< one connection, serialized exchanges.
+    mutable net::HttpClient client_;
+};
+
+/** Open a remote store from an "http://host:port" locator (fatal on a
+ *  malformed URL or one with a path component — smtstore serves at
+ *  the root; user errors, not misses). */
+std::unique_ptr<ResultStore> openRemoteStore(const std::string &locator);
+
+} // namespace smt::sweep
+
+#endif // SMT_SWEEP_REMOTE_STORE_HH

@@ -19,20 +19,47 @@ namespace fs = std::filesystem;
 namespace smt::sweep
 {
 
+std::optional<std::string>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad())
+        return std::nullopt;
+    return text.str();
+}
+
 namespace
 {
 
-/** Entry filenames are <32 lowercase hex digits>.json; everything else
- *  in the directory (markers, manifest, temp files) is not an entry. */
+/** Atomic raw write (temp + rename), mirroring Json::writeFileAtomic
+ *  for bytes that must land exactly as given. */
 bool
-looksLikeDigest(const std::string &stem)
+rawWriteFileAtomic(const std::string &path, const std::string &text)
 {
-    if (stem.size() != 32)
-        return false;
-    for (char c : stem) {
-        if (!std::isdigit(static_cast<unsigned char>(c))
-            && (c < 'a' || c > 'f'))
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
             return false;
+        out.write(text.data(),
+                  static_cast<std::streamsize>(text.size()));
+        out.flush();
+        if (!out) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
     }
     return true;
 }
@@ -70,20 +97,63 @@ ResultCache::lookup(const std::string &digest) const
     return stats;
 }
 
-void
-ResultCache::store(const std::string &digest, const SmtConfig &cfg,
-                   const MeasureOptions &opts, const SimStats &stats) const
+Json
+makeEntryJson(const std::string &digest, const SmtConfig &cfg,
+              const MeasureOptions &opts, const SimStats &stats,
+              double measure_seconds)
 {
     Json entry = Json::object();
     entry.set("digest", Json(digest));
     entry.set("key", measurementKey(cfg, opts));
+    if (measure_seconds > 0.0)
+        entry.set("measureSeconds", Json(measure_seconds));
     entry.set("stats", toJson(stats));
+    return entry;
+}
 
+void
+ResultCache::store(const std::string &digest, const SmtConfig &cfg,
+                   const MeasureOptions &opts, const SimStats &stats,
+                   double measure_seconds) const
+{
     // Atomic temp-then-rename keeps readers (and concurrent writers of
-    // the same digest, which by construction write identical bytes)
-    // from ever seeing a torn entry. A failed write is a lost cache
-    // entry, not an error.
-    entry.writeFileAtomic(entryPath(digest));
+    // the same digest, whose stats bytes agree by construction) from
+    // ever seeing a torn entry. A failed write is a lost cache entry,
+    // not an error.
+    makeEntryJson(digest, cfg, opts, stats, measure_seconds)
+        .writeFileAtomic(entryPath(digest));
+}
+
+std::optional<double>
+ResultCache::observedCost(const std::string &digest) const
+{
+    Json entry;
+    if (!Json::readFile(entryPath(digest), entry)
+        || entry.type() != Json::Type::Object
+        || !entry.has("measureSeconds")
+        || !entry.at("measureSeconds").isNumber())
+        return std::nullopt;
+    const double seconds = entry.at("measureSeconds").asDouble();
+    if (seconds <= 0.0)
+        return std::nullopt;
+    return seconds;
+}
+
+std::optional<std::string>
+ResultCache::readEntryText(const std::string &digest) const
+{
+    if (!looksLikeDigest(digest))
+        return std::nullopt;
+    return readFileBytes(entryPath(digest));
+}
+
+bool
+ResultCache::writeEntryText(const std::string &digest,
+                            const std::string &text) const
+{
+    if (!looksLikeDigest(digest))
+        return false;
+    return rawWriteFileAtomic(entryPath(digest), text);
 }
 
 std::size_t

@@ -21,9 +21,21 @@
 #include "config/config.hh"
 #include "sim/mix_runner.hh"
 #include "stats/stats.hh"
+#include "sweep/json.hh"
 
 namespace smt::sweep
 {
+
+/** Slurp a whole file as bytes; nullopt when unreadable. */
+std::optional<std::string> readFileBytes(const std::string &path);
+
+/** The canonical cache-entry document: digest, human-readable key,
+ *  optional observed cost, exact-integer stats. Local writes and
+ *  remote PUTs both build entries here, so the formats cannot
+ *  drift. */
+Json makeEntryJson(const std::string &digest, const SmtConfig &cfg,
+                   const MeasureOptions &opts, const SimStats &stats,
+                   double measure_seconds = 0.0);
 
 /** A directory of digest-named measurement results. */
 class ResultCache
@@ -40,9 +52,28 @@ class ResultCache
     /**
      * Persist a measurement. Writes are atomic (temp file + rename),
      * so concurrent sweeps sharing a cache directory are safe.
+     * `measure_seconds`, when positive, records the observed wall cost
+     * of the measurement beside the stats (the shard planner prefers
+     * observed over estimated cost on the next sweep).
      */
     void store(const std::string &digest, const SmtConfig &cfg,
-               const MeasureOptions &opts, const SimStats &stats) const;
+               const MeasureOptions &opts, const SimStats &stats,
+               double measure_seconds = 0.0) const;
+
+    /** The observed measurement cost recorded with an entry, if any. */
+    std::optional<double> observedCost(const std::string &digest) const;
+
+    /**
+     * Raw entry file access for the wire protocol: the exact on-disk
+     * bytes (so a served entry's ETag digest is reproducible), and an
+     * atomic raw write of bytes a remote client already digested. The
+     * writer vets nothing beyond the digest-shaped name — readers
+     * treat malformed entries as misses, exactly like local corruption.
+     */
+    std::optional<std::string> readEntryText(const std::string &digest)
+        const;
+    bool writeEntryText(const std::string &digest,
+                        const std::string &text) const;
 
     /** Number of entries currently on disk. */
     std::size_t entryCount() const;

@@ -1,5 +1,6 @@
 #include "sweep/result_store.hh"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <unistd.h>
 
@@ -9,6 +10,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sweep/remote_store.hh"
 
 namespace fs = std::filesystem;
 
@@ -36,6 +38,7 @@ readJsonFile(const std::string &path)
     return j;
 }
 
+
 /** True when `pid` is known dead on this host. A marker we cannot
  *  probe (foreign host, permission error) is presumed alive. */
 bool
@@ -47,6 +50,15 @@ pidIsDead(long pid)
 }
 
 } // namespace
+
+Json
+makeSelfMarker()
+{
+    Json marker = Json::object();
+    marker.set("pid", Json(static_cast<std::uint64_t>(::getpid())));
+    marker.set("host", Json(thisHost()));
+    return marker;
+}
 
 const char *
 toString(WorkState state)
@@ -86,19 +98,41 @@ LocalDirStore::lookup(const std::string &digest) const
 
 void
 LocalDirStore::store(const std::string &digest, const SmtConfig &cfg,
-                     const MeasureOptions &opts, const SimStats &stats)
+                     const MeasureOptions &opts, const SimStats &stats,
+                     double measure_seconds)
 {
-    cache_.store(digest, cfg, opts, stats);
+    cache_.store(digest, cfg, opts, stats, measure_seconds);
     clearInProgress(digest);
+}
+
+std::optional<double>
+LocalDirStore::observedCost(const std::string &digest) const
+{
+    return cache_.observedCost(digest);
+}
+
+std::map<std::string, double>
+LocalDirStore::observedCosts() const
+{
+    std::map<std::string, double> costs;
+    for (const std::string &digest : cache_.listDigests()) {
+        if (const std::optional<double> seconds =
+                cache_.observedCost(digest))
+            costs.emplace(digest, *seconds);
+    }
+    return costs;
+}
+
+void
+LocalDirStore::writeMarker(const std::string &digest, const Json &marker)
+{
+    marker.writeFileAtomic(markerPath(digest));
 }
 
 void
 LocalDirStore::markInProgress(const std::string &digest)
 {
-    Json marker = Json::object();
-    marker.set("pid", Json(static_cast<std::uint64_t>(::getpid())));
-    marker.set("host", Json(thisHost()));
-    marker.writeFileAtomic(markerPath(digest));
+    writeMarker(digest, makeSelfMarker());
 }
 
 void
@@ -106,6 +140,60 @@ LocalDirStore::clearInProgress(const std::string &digest)
 {
     std::error_code ec;
     fs::remove(markerPath(digest), ec);
+}
+
+void
+LocalDirStore::markOrphaned(const std::string &digest)
+{
+    if (cache_.lookup(digest).has_value())
+        return; // finished after all: nothing to declare.
+    // pid 0 can never be a live worker, so every observer — any host,
+    // any process — classifies this marker as Orphaned.
+    Json marker = Json::object();
+    marker.set("pid", Json(static_cast<std::uint64_t>(0)));
+    marker.set("host", Json(thisHost()));
+    writeMarker(digest, marker);
+}
+
+std::string
+LocalDirStore::readMarkerText(const std::string &digest) const
+{
+    return readFileBytes(markerPath(digest)).value_or("");
+}
+
+bool
+LocalDirStore::tryAdopt(const std::string &digest,
+                        const std::string &expected_marker)
+{
+    // The claim lock serializes racing adopters of one digest: O_EXCL
+    // creation is the atomic step, the marker rewrite happens inside
+    // it. A crash while holding the lock leaks it — that digest then
+    // stays unadoptable until the coordinator's recovery pass, which
+    // measures leftovers itself; advisory is good enough here.
+    const std::string lock_path = markerPath(digest) + ".lock";
+    const int fd =
+        ::open(lock_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false; // a rival adopter holds the claim.
+    ::close(fd);
+
+    bool won = false;
+    if (!cache_.readEntryText(digest).has_value()) {
+        const std::string current = readMarkerText(digest);
+        // A marker already carrying this process's claim means an
+        // earlier attempt won (matching the wire protocol's retry
+        // semantics); the normal CAS applies otherwise.
+        const Json mine = makeSelfMarker();
+        if (current == mine.dump(2) + "\n")
+            won = true;
+        else if (current == expected_marker) {
+            writeMarker(digest, mine);
+            won = true;
+        }
+    }
+    std::error_code ec;
+    fs::remove(lock_path, ec);
+    return won;
 }
 
 WorkState
@@ -126,6 +214,8 @@ LocalDirStore::state(const std::string &digest) const
         return WorkState::Orphaned;
 
     const long pid = static_cast<long>(marker->at("pid").asUInt());
+    if (pid <= 0)
+        return WorkState::Orphaned; // a declared orphan (any host).
     const std::string host =
         marker->has("host") ? marker->at("host").asString() : "unknown";
     if (host == thisHost() && pidIsDead(pid))
@@ -161,6 +251,14 @@ std::unique_ptr<ResultStore>
 openLocalStore(const std::string &dir)
 {
     return std::make_unique<LocalDirStore>(dir);
+}
+
+std::unique_ptr<ResultStore>
+openStore(const std::string &locator)
+{
+    if (isRemoteStoreLocator(locator))
+        return openRemoteStore(locator);
+    return openLocalStore(locator);
 }
 
 } // namespace smt::sweep

@@ -25,6 +25,7 @@
 #ifndef SMT_SWEEP_RESULT_STORE_HH
 #define SMT_SWEEP_RESULT_STORE_HH
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +51,11 @@ enum class WorkState
 
 const char *toString(WorkState state);
 
+/** This process's advisory claim document ({pid, host}). Marker bytes
+ *  are compared exactly by the claim CAS on both the local and the
+ *  wire-protocol path, so every writer must build markers here. */
+Json makeSelfMarker();
+
 /** A digest-addressed store of measurement results shared by every
  *  worker of a distributed sweep. */
 class ResultStore
@@ -61,16 +67,54 @@ class ResultStore
     virtual std::optional<SimStats>
     lookup(const std::string &digest) const = 0;
 
-    /** Persist a measurement and clear any in-progress marker. */
+    /** Persist a measurement and clear any in-progress marker.
+     *  `measure_seconds` > 0 records the observed wall cost beside the
+     *  entry for the planner's dynamic cost feedback. */
     virtual void store(const std::string &digest, const SmtConfig &cfg,
-                       const MeasureOptions &opts,
-                       const SimStats &stats) = 0;
+                       const MeasureOptions &opts, const SimStats &stats,
+                       double measure_seconds = 0.0) = 0;
+
+    /** The observed measurement cost stored with an entry, if any. */
+    virtual std::optional<double>
+    observedCost(const std::string &digest) const = 0;
+
+    /** Every stored entry's observed cost in one pass — the bulk form
+     *  the coordinator's cost feedback uses (one round trip against a
+     *  remote store, not one per digest). */
+    virtual std::map<std::string, double> observedCosts() const = 0;
 
     /** Advisory claim: record that this process is measuring `digest`. */
     virtual void markInProgress(const std::string &digest) = 0;
 
     /** Drop this digest's marker (normally done by store()). */
     virtual void clearInProgress(const std::string &digest) = 0;
+
+    /**
+     * Declare abandoned work: write a marker that every observer
+     * classifies as Orphaned (a coordinator that watched this digest's
+     * worker die calls this so idle workers on *any* host can adopt
+     * it). A no-op once the entry exists.
+     */
+    virtual void markOrphaned(const std::string &digest) = 0;
+
+    /** The raw marker bytes for `digest` ("" when absent) — the CAS
+     *  token tryAdopt() compares against. */
+    virtual std::string readMarkerText(const std::string &digest)
+        const = 0;
+
+    /**
+     * Claim-marker compare-and-swap: atomically replace `digest`'s
+     * marker with this process's in-progress marker, but only while
+     * the entry is still absent and the current marker bytes equal
+     * `expected_marker` (as returned by readMarkerText — "" for no
+     * marker). Exactly one of N racing adopters wins; retrying a
+     * claim this process already holds also reads as success (a
+     * remote claim whose response was torn is resent transparently).
+     * False when the marker moved to someone else, the work finished,
+     * or the claim could not be taken.
+     */
+    virtual bool tryAdopt(const std::string &digest,
+                          const std::string &expected_marker) = 0;
 
     /** Classify one digest's work. */
     virtual WorkState state(const std::string &digest) const = 0;
@@ -98,9 +142,17 @@ class LocalDirStore final : public ResultStore
     std::optional<SimStats>
     lookup(const std::string &digest) const override;
     void store(const std::string &digest, const SmtConfig &cfg,
-               const MeasureOptions &opts, const SimStats &stats) override;
+               const MeasureOptions &opts, const SimStats &stats,
+               double measure_seconds = 0.0) override;
+    std::optional<double>
+    observedCost(const std::string &digest) const override;
+    std::map<std::string, double> observedCosts() const override;
     void markInProgress(const std::string &digest) override;
     void clearInProgress(const std::string &digest) override;
+    void markOrphaned(const std::string &digest) override;
+    std::string readMarkerText(const std::string &digest) const override;
+    bool tryAdopt(const std::string &digest,
+                  const std::string &expected_marker) override;
     WorkState state(const std::string &digest) const override;
     std::vector<std::string> storedDigests() const override;
     void writeManifest(const Json &manifest) override;
@@ -108,6 +160,14 @@ class LocalDirStore final : public ResultStore
     std::string description() const override;
 
     const std::string &dir() const { return cache_.dir(); }
+
+    /** Raw entry bytes / raw atomic entry write (the wire protocol's
+     *  view of the store; see sweep/store_service.hh). */
+    const ResultCache &cache() const { return cache_; }
+
+    /** Write an explicit marker document (the wire protocol records
+     *  the *client's* {pid, host}, not this process's). */
+    void writeMarker(const std::string &digest, const Json &marker);
 
   private:
     std::string markerPath(const std::string &digest) const;
@@ -118,6 +178,14 @@ class LocalDirStore final : public ResultStore
 
 /** Open (creating if needed) the local store rooted at `dir`. */
 std::unique_ptr<ResultStore> openLocalStore(const std::string &dir);
+
+/**
+ * Open the store a locator names: "http://host:port" connects a
+ * RemoteResultStore to a running `smtstore` server; anything else is a
+ * local directory path. Every sweep tool accepts either form wherever
+ * it accepts a cache directory.
+ */
+std::unique_ptr<ResultStore> openStore(const std::string &locator);
 
 } // namespace smt::sweep
 

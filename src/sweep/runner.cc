@@ -63,7 +63,7 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
 
     std::unique_ptr<ResultStore> store;
     if (!ropts.cacheDir.empty())
-        store = openLocalStore(ropts.cacheDir);
+        store = openStore(ropts.cacheDir);
 
     std::vector<PointResult> results(points.size());
     std::size_t done = 0, hits = 0;
@@ -81,6 +81,11 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         std::vector<std::future<SimStats>> runs;    ///< empty if serial
                                                     ///< or duplicate.
         std::size_t duplicateOf = SIZE_MAX;
+
+        /** Per-run wall seconds (parallel path): each pool task fills
+         *  its own slot; future.get() publishes it. The sum is the
+         *  observed point cost fed back to the shard planner. */
+        std::shared_ptr<std::vector<double>> runSeconds;
     };
     std::vector<Pending> pending;
     ThreadPool &pool = ThreadPool::global();
@@ -124,11 +129,21 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             store->markInProgress(result.digest);
         if (p.duplicateOf == SIZE_MAX && ropts.measure.parallel) {
             p.runs.reserve(point.options.runs);
+            p.runSeconds = std::make_shared<std::vector<double>>(
+                point.options.runs, 0.0);
             // The SweepPoint lives in the caller's vector for the whole
             // sweep; capture by reference.
             for (unsigned r = 0; r < point.options.runs; ++r) {
-                p.runs.push_back(pool.submit([&point, r] {
-                    return measureRun(point.config, r, point.options);
+                auto seconds = p.runSeconds;
+                p.runs.push_back(pool.submit([&point, r, seconds] {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    SimStats stats =
+                        measureRun(point.config, r, point.options);
+                    (*seconds)[r] = std::chrono::duration<double>(
+                                        std::chrono::steady_clock::now()
+                                        - t0)
+                                        .count();
+                    return stats;
                 }));
             }
         }
@@ -150,17 +165,26 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             continue;
         }
         const SweepPoint &point = result.point;
+        double measure_seconds = 0.0;
         if (p.runs.empty()) {
-            for (unsigned r = 0; r < point.options.runs; ++r)
+            for (unsigned r = 0; r < point.options.runs; ++r) {
+                const auto t0 = std::chrono::steady_clock::now();
                 result.data.stats.add(measureRun(point.config, r,
                                                  point.options));
+                measure_seconds +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            }
         } else {
             for (auto &f : p.runs)
                 result.data.stats.add(pool.wait(std::move(f)));
+            for (double s : *p.runSeconds)
+                measure_seconds += s;
         }
         if (store)
             store->store(result.digest, point.config, point.options,
-                         result.data.stats);
+                         result.data.stats, measure_seconds);
         ++done;
         report_progress();
     }

@@ -1,0 +1,274 @@
+#include "sweep/store_service.hh"
+
+#include "common/logging.hh"
+#include "sweep/digest.hh"
+
+namespace smt::sweep
+{
+
+namespace
+{
+
+net::HttpResponse
+plain(int status, const std::string &body = "")
+{
+    net::HttpResponse resp;
+    resp.status = status;
+    resp.body = body;
+    if (!body.empty())
+        resp.headers.set("Content-Type", "text/plain");
+    return resp;
+}
+
+net::HttpResponse
+jsonResponse(int status, const Json &doc)
+{
+    net::HttpResponse resp;
+    resp.status = status;
+    resp.body = doc.dump(2) + "\n";
+    resp.headers.set("Content-Type", "application/json");
+    return resp;
+}
+
+/** Split "/v1/entries/abc..." into segments after "/v1". Empty on a
+ *  foreign prefix. */
+std::vector<std::string>
+v1Segments(const std::string &target)
+{
+    std::vector<std::string> segments;
+    if (target.rfind("/v1/", 0) != 0)
+        return segments;
+    std::size_t pos = 4;
+    while (pos <= target.size()) {
+        const std::size_t slash = target.find('/', pos);
+        const std::size_t end =
+            slash == std::string::npos ? target.size() : slash;
+        if (end > pos)
+            segments.push_back(target.substr(pos, end - pos));
+        if (slash == std::string::npos)
+            break;
+        pos = slash + 1;
+    }
+    return segments;
+}
+
+} // namespace
+
+std::string
+contentDigest(const std::string &body)
+{
+    return digestHex(body);
+}
+
+StoreService::StoreService(const std::string &dir, bool verbose)
+    : store_(dir), verbose_(verbose)
+{
+}
+
+net::HttpResponse
+StoreService::handle(const net::HttpRequest &req)
+{
+    net::HttpResponse resp = dispatch(req);
+    if (verbose_)
+        smt_inform("smtstore: %s %s -> %d", req.method.c_str(),
+                   req.target.c_str(), resp.status);
+    return resp;
+}
+
+net::HttpResponse
+StoreService::dispatch(const net::HttpRequest &req)
+{
+    const std::vector<std::string> path = v1Segments(req.target);
+    if (path.empty())
+        return plain(404, "unknown resource (expected /v1/...)\n");
+    const std::string &kind = path[0];
+
+    if (kind == "ping" && req.method == "GET") {
+        Json doc = Json::object();
+        doc.set("service", Json("smtstore"));
+        doc.set("schema", Json(kDigestSchema));
+        doc.set("dir", Json(store_.dir()));
+        return jsonResponse(200, doc);
+    }
+
+    if (kind == "manifest") {
+        if (req.method == "GET") {
+            const std::optional<Json> manifest = store_.readManifest();
+            if (!manifest.has_value())
+                return plain(404, "no manifest recorded\n");
+            return jsonResponse(200, *manifest);
+        }
+        if (req.method == "PUT") {
+            Json manifest;
+            if (!Json::parse(req.body, manifest))
+                return plain(400, "manifest body is not JSON\n");
+            std::lock_guard<std::mutex> lock(mu_);
+            store_.writeManifest(manifest);
+            return plain(204);
+        }
+        return plain(405);
+    }
+
+    if (kind == "entries" && path.size() == 1) {
+        if (req.method != "GET")
+            return plain(405);
+        Json doc = Json::object();
+        Json digests = Json::array();
+        for (std::string &d : store_.storedDigests())
+            digests.push(Json(std::move(d)));
+        doc.set("digests", std::move(digests));
+        net::HttpResponse resp = jsonResponse(200, doc);
+        resp.chunked = true; // a listing that can grow unbounded.
+        return resp;
+    }
+
+    if (kind == "costs" && path.size() == 1) {
+        if (req.method != "GET")
+            return plain(405);
+        Json doc = Json::object();
+        Json costs = Json::object();
+        for (const auto &[digest, seconds] : store_.observedCosts())
+            costs.set(digest, Json(seconds));
+        doc.set("costs", std::move(costs));
+        net::HttpResponse resp = jsonResponse(200, doc);
+        resp.chunked = true;
+        return resp;
+    }
+
+    // Everything below addresses one digest.
+    if (path.size() < 2 || !looksLikeDigest(path[1]))
+        return plain(404, "malformed digest in request path\n");
+    const std::string &digest = path[1];
+
+    if (kind == "entries") {
+        if (req.method == "HEAD" || req.method == "GET") {
+            const std::optional<std::string> text =
+                store_.cache().readEntryText(digest);
+            if (!text.has_value())
+                return plain(404);
+            net::HttpResponse resp;
+            resp.status = 200;
+            resp.headers.set("Content-Type", "application/json");
+            resp.headers.set("ETag",
+                             "\"" + contentDigest(*text) + "\"");
+            if (req.method == "GET")
+                resp.body = *text;
+            else
+                // The serializer owns Content-Length (a HEAD response
+                // has no body), so advertise the entry size here.
+                resp.headers.set("X-Entry-Size",
+                                 std::to_string(text->size()));
+            return resp;
+        }
+        if (req.method == "PUT") {
+            const std::string claimed =
+                req.headers.get("X-Content-Digest");
+            if (claimed.empty())
+                return plain(400, "X-Content-Digest is required\n");
+            if (claimed != contentDigest(req.body))
+                return plain(400, "body does not match its declared "
+                                  "content digest\n");
+            Json entry;
+            if (!Json::parse(req.body, entry)
+                || entry.type() != Json::Type::Object
+                || !entry.has("digest") || !entry.has("stats")
+                || entry.at("digest").asString() != digest)
+                return plain(400, "body is not an entry for this "
+                                  "digest\n");
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!store_.cache().writeEntryText(digest, req.body))
+                return plain(500, "cannot persist entry\n");
+            store_.clearInProgress(digest);
+            return plain(204);
+        }
+        return plain(405);
+    }
+
+    if (kind == "state") {
+        if (req.method != "GET")
+            return plain(405);
+        Json doc = Json::object();
+        doc.set("state", Json(toString(store_.state(digest))));
+        return jsonResponse(200, doc);
+    }
+
+    if (kind == "costs") {
+        if (req.method != "GET")
+            return plain(405);
+        const std::optional<double> seconds =
+            store_.observedCost(digest);
+        if (!seconds.has_value())
+            return plain(404);
+        Json doc = Json::object();
+        doc.set("seconds", Json(*seconds));
+        return jsonResponse(200, doc);
+    }
+
+    if (kind == "markers") {
+        if (path.size() == 3 && path[2] == "orphan") {
+            if (req.method != "POST")
+                return plain(405);
+            std::lock_guard<std::mutex> lock(mu_);
+            store_.markOrphaned(digest);
+            return plain(204);
+        }
+        if (req.method == "GET") {
+            const std::string text = store_.readMarkerText(digest);
+            if (text.empty())
+                return plain(404);
+            net::HttpResponse resp;
+            resp.status = 200;
+            resp.headers.set("Content-Type", "application/json");
+            resp.body = text;
+            return resp;
+        }
+        if (req.method == "PUT") {
+            Json marker;
+            if (!Json::parse(req.body, marker)
+                || marker.type() != Json::Type::Object)
+                return plain(400, "marker body is not a JSON object\n");
+            std::lock_guard<std::mutex> lock(mu_);
+            store_.writeMarker(digest, marker);
+            return plain(204);
+        }
+        if (req.method == "DELETE") {
+            std::lock_guard<std::mutex> lock(mu_);
+            store_.clearInProgress(digest);
+            return plain(204);
+        }
+        return plain(405);
+    }
+
+    if (kind == "claims") {
+        if (req.method != "POST")
+            return plain(405);
+        Json claim;
+        if (!Json::parse(req.body, claim)
+            || claim.type() != Json::Type::Object
+            || !claim.has("expect") || !claim.has("marker"))
+            return plain(400, "claim body needs expect + marker\n");
+
+        // The CAS: under the service mutex, the claim wins only while
+        // the entry is absent and the marker bytes still read exactly
+        // as the claimant observed them. A marker that already equals
+        // what this claim would write means the claimant won earlier
+        // and its response was torn — the client's transparent retry
+        // must see success, not a spurious conflict.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (store_.cache().readEntryText(digest).has_value())
+            return plain(409, "already done\n");
+        const std::string current = store_.readMarkerText(digest);
+        const std::string claimed_bytes =
+            claim.at("marker").dump(2) + "\n";
+        if (current == claimed_bytes)
+            return plain(200, "already claimed\n");
+        if (current != claim.at("expect").asString())
+            return plain(409, "marker moved\n");
+        store_.writeMarker(digest, claim.at("marker"));
+        return plain(200, "claimed\n");
+    }
+
+    return plain(404, "unknown resource\n");
+}
+
+} // namespace smt::sweep

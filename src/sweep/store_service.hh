@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The result-store wire protocol, server side.
+ *
+ * StoreService maps HTTP requests onto a LocalDirStore so remote
+ * workers can share one store over the network (`tools/smtstore` is
+ * the thin binary around it; tests mount the service on an in-process
+ * HttpServer). All resources live under <base>/v1:
+ *
+ *   GET    /v1/ping                     liveness + schema
+ *   GET    /v1/entries                  {"digests": [...]} (chunked)
+ *   HEAD   /v1/entries/<digest>         entry exists? (X-Entry-Size
+ *                                       advertises its byte count)
+ *   GET    /v1/entries/<digest>         raw entry bytes, ETag = its
+ *                                       content digest
+ *   PUT    /v1/entries/<digest>         store an entry; the mandatory
+ *                                       X-Content-Digest header must
+ *                                       match the body (rejects torn
+ *                                       or corrupted uploads), the
+ *                                       body must be a well-formed
+ *                                       entry for <digest>; commits
+ *                                       atomically (temp + rename)
+ *                                       and clears the marker
+ *   GET    /v1/state/<digest>           {"state": "done"|...}
+ *   GET    /v1/costs                    {"costs": {digest: seconds}}
+ *                                       every observed cost, in bulk
+ *   GET    /v1/costs/<digest>           {"seconds": s} observed cost
+ *   GET    /v1/markers/<digest>         raw marker bytes
+ *   PUT    /v1/markers/<digest>         write the client's marker
+ *   DELETE /v1/markers/<digest>         drop the marker
+ *   POST   /v1/markers/<digest>/orphan  declare the work abandoned
+ *   POST   /v1/claims/<digest>          claim-marker CAS: body
+ *                                       {"expect": "<raw marker>",
+ *                                        "marker": {...}}; 200 when
+ *                                       the claim wins, 409 when the
+ *                                       marker moved or the work is
+ *                                       already done
+ *   GET    /v1/manifest                 the sweep manifest
+ *   PUT    /v1/manifest                 record the manifest
+ *
+ * Marker/claim mutations are serialized under one mutex, which is what
+ * makes the claim CAS atomic: of N workers adopting the same orphan,
+ * exactly one observes the expected marker bytes and wins. Orphan
+ * classification runs on the server, so a worker that died on the
+ * server's own host is detected by pid probe exactly as LocalDirStore
+ * would — markers from other hosts are presumed live until their
+ * coordinator declares them orphaned.
+ */
+
+#ifndef SMT_SWEEP_STORE_SERVICE_HH
+#define SMT_SWEEP_STORE_SERVICE_HH
+
+#include <mutex>
+#include <string>
+
+#include "net/http.hh"
+#include "sweep/result_store.hh"
+
+namespace smt::sweep
+{
+
+class StoreService
+{
+  public:
+    /** Serve the store rooted at `dir` (created if needed). */
+    explicit StoreService(const std::string &dir, bool verbose = false);
+
+    /** Handle one request (thread-safe; plug into HttpServer). */
+    net::HttpResponse handle(const net::HttpRequest &req);
+
+    const std::string &dir() const { return store_.dir(); }
+
+  private:
+    net::HttpResponse dispatch(const net::HttpRequest &req);
+
+    LocalDirStore store_;
+    bool verbose_;
+    std::mutex mu_;
+};
+
+/** The ETag / X-Content-Digest value for a message body. */
+std::string contentDigest(const std::string &body);
+
+} // namespace smt::sweep
+
+#endif // SMT_SWEEP_STORE_SERVICE_HH

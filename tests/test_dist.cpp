@@ -154,6 +154,60 @@ TEST(ShardPlan, DuplicateDigestsShareAShard)
     EXPECT_EQ(plan.shardOf.back(), plan.shardOf[3]);
 }
 
+TEST(ShardPlan, ObservedCostsOutrankEstimates)
+{
+    const std::vector<SweepPoint> grid = fig5Grid();
+    const ShardPlan base = planShards(grid, 3);
+
+    // Hints that invert reality: the digests the estimator thinks are
+    // cheap become the most expensive. The plan must follow the hints
+    // (the hinted costs land in plan.cost), stay a pure function of
+    // them, and differ from the unhinted plan.
+    CostHints hints;
+    double weight = 1000.0;
+    for (auto it = base.shardOfDigest.rbegin();
+         it != base.shardOfDigest.rend(); ++it) {
+        hints[it->first] = weight;
+        weight *= 0.5;
+    }
+    const ShardPlan hinted = planShards(grid, 3, hints);
+    EXPECT_EQ(planShards(grid, 3, hints).shardOfDigest,
+              hinted.shardOfDigest);
+
+    double total_hinted = 0.0;
+    for (const auto &[digest, cost] : hints)
+        total_hinted += cost;
+    double total_planned = 0.0;
+    for (double c : hinted.cost)
+        total_planned += c;
+    EXPECT_NEAR(total_planned, total_hinted, 1e-6);
+
+    // LPT balance holds under the hinted weights too.
+    double max_unit = 0.0;
+    for (const auto &[digest, cost] : hints)
+        max_unit = std::max(max_unit, cost);
+    const auto [lo, hi] =
+        std::minmax_element(hinted.cost.begin(), hinted.cost.end());
+    EXPECT_LE(*hi - *lo, max_unit);
+}
+
+TEST(ShardPlan, CostHintsRoundTripThroughManifests)
+{
+    sweep::Json manifest = sweep::Json::object();
+    sweep::Json costs = sweep::Json::object();
+    costs.set(std::string(32, 'a'), sweep::Json(1.5));
+    costs.set(std::string(32, 'b'), sweep::Json(0.25));
+    costs.set(std::string(32, 'c'), sweep::Json(-1.0)); // ignored.
+    manifest.set("observedCosts", std::move(costs));
+
+    const CostHints hints = costHintsFromManifest(manifest);
+    ASSERT_EQ(hints.size(), 2u);
+    EXPECT_NEAR(hints.at(std::string(32, 'a')), 1.5, 1e-12);
+    EXPECT_NEAR(hints.at(std::string(32, 'b')), 0.25, 1e-12);
+
+    EXPECT_TRUE(costHintsFromManifest(sweep::Json::object()).empty());
+}
+
 TEST(ShardPlan, MoreShardsThanWorkLeavesTrailingShardsEmpty)
 {
     const NamedExperiment *smoke = sweep::findExperiment("smoke");
@@ -228,6 +282,65 @@ TEST(ResultStore, DeadWritersAreOrphans)
         marker << "{\"pid\": 99";
     }
     EXPECT_EQ(store->state(digest), sweep::WorkState::Orphaned);
+}
+
+TEST(ResultStore, DeclaredOrphansAndClaimCas)
+{
+    TempDir dir("cas");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    const std::string digest(32, 'd');
+
+    // A coordinator-declared orphan is orphaned for every observer,
+    // whatever host probes it (pid 0 can never be alive).
+    store->markOrphaned(digest);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Orphaned);
+
+    // CAS: the first adopter presenting the current marker bytes
+    // wins and owns the work; its own retry reads as success; a rival
+    // with the stale bytes loses.
+    const std::string marker = store->readMarkerText(digest);
+    ASSERT_FALSE(marker.empty());
+    EXPECT_TRUE(store->tryAdopt(digest, marker));
+    EXPECT_EQ(store->state(digest), sweep::WorkState::InProgress);
+    EXPECT_TRUE(store->tryAdopt(digest, marker));
+    sweep::Json rival = sweep::Json::object();
+    rival.set("pid", sweep::Json(std::uint64_t{999999999}));
+    rival.set("host", sweep::Json("elsewhere"));
+    static_cast<sweep::LocalDirStore *>(store.get())
+        ->writeMarker(digest, rival);
+    EXPECT_FALSE(store->tryAdopt(digest, marker));
+
+    // Finished work is not adoptable, and declaring it orphaned is a
+    // no-op.
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string done = sweep::measurementDigest(cfg, opts);
+    store->store(done, cfg, opts, measure(cfg, opts).stats);
+    store->markOrphaned(done);
+    EXPECT_EQ(store->state(done), sweep::WorkState::Done);
+    EXPECT_FALSE(store->tryAdopt(done, store->readMarkerText(done)));
+}
+
+TEST(ResultStore, ObservedCostRoundTrips)
+{
+    TempDir dir("cost");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+
+    EXPECT_FALSE(store->observedCost(digest).has_value());
+    store->store(digest, cfg, opts, measure(cfg, opts).stats, 2.5);
+    const std::optional<double> cost = store->observedCost(digest);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_NEAR(*cost, 2.5, 1e-12);
+
+    // Entries stored without timing (pure replays) report none.
+    const std::string untimed(32, 'e');
+    store->store(untimed, cfg, opts, measure(cfg, opts).stats);
+    EXPECT_FALSE(store->observedCost(untimed).has_value());
 }
 
 TEST(ResultStore, ManifestRoundTripsAndIsNotAnEntry)
@@ -347,6 +460,156 @@ TEST(Dist, ShardedRunMergedFromSharedStoreMatchesSerialBitForBit)
         EXPECT_EQ(sweep::toJson(merged.points[i].data.stats).dump(),
                   sweep::toJson(reference.points[i].data.stats).dump());
     }
+}
+
+TEST(Dist, SurvivingWorkerAdoptsOrphanedDigestsInsteadOfRelaunch)
+{
+    const NamedExperiment *smoke = sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+
+    // The reference: a serial, cache-less sweep.
+    sweep::RunnerOptions serial;
+    serial.measure = tinyOptions();
+    serial.measure.parallel = false;
+    const sweep::SweepOutcome reference = runSweep(smoke->spec, serial);
+
+    TempDir dir("steal");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    const std::vector<SweepPoint> grid =
+        smoke->spec.expand(tinyOptions());
+    const ShardPlan plan = planShards(grid, 2);
+
+    // Shard 0's worker "died" before finishing anything; the
+    // coordinator declared its digests orphaned.
+    std::size_t shard0_uniques = 0;
+    for (const auto &[digest, shard] : plan.shardOfDigest) {
+        if (shard == 0) {
+            store->markOrphaned(digest);
+            ++shard0_uniques;
+        }
+    }
+    ASSERT_GT(shard0_uniques, 0u);
+
+    // Shard 1 runs with stealing: it must finish its own slice, then
+    // adopt and measure every orphan rather than leaving them behind.
+    sweep::RunnerOptions ropts;
+    ropts.measure = tinyOptions();
+    ropts.cacheDir = dir.path();
+    ShardWorkerOptions wopts;
+    wopts.index = 1;
+    wopts.count = 2;
+    wopts.steal.enabled = true;
+    wopts.steal.waitSeconds = 5.0;
+    wopts.steal.pollSeconds = 0.01;
+    const ShardRunResult r = runShard(smoke->spec, ropts, wopts);
+    EXPECT_EQ(r.stolen, shard0_uniques);
+
+    for (const auto &[digest, shard] : plan.shardOfDigest)
+        EXPECT_EQ(store->state(digest), sweep::WorkState::Done)
+            << digest << " of shard " << shard;
+
+    // The merged result is still bit-identical to the serial run.
+    sweep::RunnerOptions merge_opts = ropts;
+    merge_opts.requireCached = true;
+    const sweep::SweepOutcome merged = runSweep(smoke->spec, merge_opts);
+    ASSERT_EQ(merged.points.size(), reference.points.size());
+    for (std::size_t i = 0; i < merged.points.size(); ++i) {
+        EXPECT_EQ(merged.points[i].digest, reference.points[i].digest);
+        EXPECT_EQ(sweep::toJson(merged.points[i].data.stats).dump(),
+                  sweep::toJson(reference.points[i].data.stats).dump());
+    }
+}
+
+TEST(Dist, WorkersFollowTheManifestAssignmentWhenItMatches)
+{
+    const NamedExperiment *smoke = sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+    TempDir dir("manifest_assign");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+
+    const std::vector<SweepPoint> grid =
+        smoke->spec.expand(tinyOptions());
+    const ShardPlan plan = planShards(grid, 2);
+
+    // A manifest that swaps every assignment relative to the local
+    // plan: workers must obey it, not re-derive their own.
+    sweep::Json manifest = sweep::Json::object();
+    manifest.set("experiment", sweep::Json("smoke"));
+    manifest.set("shardCount", sweep::Json(2u));
+    sweep::Json points = sweep::Json::array();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        sweep::Json p = sweep::Json::object();
+        p.set("digest", sweep::Json(plan.digests[i]));
+        p.set("shard", sweep::Json(1u - plan.shardOf[i]));
+        points.push(std::move(p));
+    }
+    manifest.set("points", std::move(points));
+    store->writeManifest(manifest);
+
+    sweep::RunnerOptions ropts;
+    ropts.measure = tinyOptions();
+    ropts.cacheDir = dir.path();
+    const ShardRunResult r0 = runShard(smoke->spec, ropts, 0, 2);
+
+    // Shard 0 measured exactly the digests the manifest gave it —
+    // i.e. the *other* half of the local plan.
+    std::set<std::string> expected;
+    for (const auto &[digest, shard] : plan.shardOfDigest) {
+        if (shard == 1)
+            expected.insert(digest);
+    }
+    EXPECT_EQ(r0.points, expected.size());
+    for (const std::string &digest : store->storedDigests())
+        EXPECT_TRUE(expected.count(digest)) << digest;
+}
+
+TEST(Dist, AuditArtifactClassifiesManifestWork)
+{
+    TempDir dir("audit");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string done = sweep::measurementDigest(cfg, opts);
+    store->store(done, cfg, opts, measure(cfg, opts).stats);
+    const std::string orphaned(32, 'a');
+    store->markOrphaned(orphaned);
+    const std::string pending(32, 'b');
+
+    sweep::Json manifest = sweep::Json::object();
+    manifest.set("experiment", sweep::Json("smoke"));
+    manifest.set("shardCount", sweep::Json(2u));
+    sweep::Json points = sweep::Json::array();
+    unsigned shard = 0;
+    for (const std::string &digest : {done, orphaned, pending}) {
+        sweep::Json p = sweep::Json::object();
+        p.set("digest", sweep::Json(digest));
+        p.set("shard", sweep::Json(shard++ % 2));
+        points.push(std::move(p));
+    }
+    manifest.set("points", std::move(points));
+    store->writeManifest(manifest);
+
+    bool ok = false;
+    const sweep::Json doc = auditArtifact(dir.path(), ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(doc.at("experiment").asString(), "smoke");
+    EXPECT_EQ(doc.at("unique").asUInt(), 3u);
+    const sweep::Json &counts = doc.at("counts");
+    EXPECT_EQ(counts.at("done").asUInt(), 1u);
+    EXPECT_EQ(counts.at("orphaned").asUInt(), 1u);
+    EXPECT_EQ(counts.at("pending").asUInt(), 1u);
+    EXPECT_EQ(counts.at("inProgress").asUInt(), 0u);
+    EXPECT_EQ(doc.at("digests").size(), 3u);
+
+    bool bad_ok = true;
+    TempDir empty("audit_empty");
+    const sweep::Json no_manifest = auditArtifact(empty.path(), bad_ok);
+    EXPECT_FALSE(bad_ok);
+    EXPECT_TRUE(no_manifest.has("error"));
 }
 
 TEST(Dist, ShardWorkersReportProgressTheCoordinatorCanRead)

@@ -1,0 +1,620 @@
+/**
+ * @file
+ * Tests for the net layer and the store wire protocol: HTTP message
+ * round-trips (Content-Length and chunked framing, keep-alive, torn
+ * connections), RemoteResultStore semantics matching LocalDirStore
+ * (hit / miss / corrupt-entry, markers, claim CAS, manifest, observed
+ * costs) against an in-process smtstore service, the ssh launcher's
+ * command construction and capture path (via a stub ssh), and the
+ * acceptance bar — a 2-shard sweep whose workers talk only to the
+ * store over loopback HTTP merges bit-identical to a serial run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "dist/shard.hh"
+#include "dist/ssh_launcher.hh"
+#include "net/http.hh"
+#include "net/http_client.hh"
+#include "net/http_server.hh"
+#include "net/socket.hh"
+#include "sweep/digest.hh"
+#include "sweep/experiments.hh"
+#include "sweep/remote_store.hh"
+#include "sweep/result_store.hh"
+#include "sweep/serialize.hh"
+#include "sweep/store_service.hh"
+
+namespace smt
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A scratch directory removed when the test ends. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_((fs::temp_directory_path()
+                 / ("smtnet_test_" + tag + "_"
+                    + std::to_string(std::random_device{}())))
+                    .string())
+    {
+        fs::create_directories(path_);
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+MeasureOptions
+tinyOptions()
+{
+    MeasureOptions opts;
+    opts.cyclesPerRun = 1200;
+    opts.warmupCycles = 300;
+    opts.runs = 2;
+    return opts;
+}
+
+// ---- URLs and headers ------------------------------------------------------
+
+TEST(Net, UrlParsing)
+{
+    net::Url url;
+    ASSERT_TRUE(net::parseUrl("http://localhost:8377", url));
+    EXPECT_EQ(url.host, "localhost");
+    EXPECT_EQ(url.port, 8377);
+    EXPECT_EQ(url.path, "/");
+
+    ASSERT_TRUE(net::parseUrl("http://10.0.0.7/base/store/", url));
+    EXPECT_EQ(url.host, "10.0.0.7");
+    EXPECT_EQ(url.port, 80);
+    EXPECT_EQ(url.path, "/base/store");
+
+    EXPECT_FALSE(net::parseUrl("ftp://host", url));
+    EXPECT_FALSE(net::parseUrl("http://", url));
+    EXPECT_FALSE(net::parseUrl("http://host:0", url));
+    EXPECT_FALSE(net::parseUrl("http://host:99999", url));
+    EXPECT_FALSE(net::isHttpUrl("/plain/dir"));
+    EXPECT_TRUE(net::isHttpUrl("http://x"));
+}
+
+TEST(Net, HeadersAreCaseInsensitive)
+{
+    net::Headers headers;
+    headers.set("Content-Type", "application/json");
+    EXPECT_TRUE(headers.has("content-type"));
+    EXPECT_EQ(headers.get("CONTENT-TYPE"), "application/json");
+    headers.set("content-type", "text/plain");
+    EXPECT_EQ(headers.get("Content-Type"), "text/plain");
+    EXPECT_EQ(headers.items().size(), 1u);
+    EXPECT_EQ(headers.get("absent"), "");
+}
+
+// ---- HTTP over a live loopback server --------------------------------------
+
+/** An echo server: responds with the request's method, target, and
+ *  body; honours ?chunked and ?close markers in the target. */
+class EchoServerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        std::string error;
+        ASSERT_TRUE(server_.start(
+            "127.0.0.1", 0,
+            [](const net::HttpRequest &req) {
+                net::HttpResponse resp;
+                resp.headers.set("X-Method", req.method);
+                resp.headers.set("X-Target", req.target);
+                resp.body = req.body;
+                if (req.target.find("chunked") != std::string::npos)
+                    resp.chunked = true;
+                if (req.target.find("close") != std::string::npos)
+                    resp.headers.set("Connection", "close");
+                return resp;
+            },
+            &error))
+            << error;
+    }
+
+    net::HttpServer server_;
+};
+
+TEST_F(EchoServerTest, KeepAliveCarriesSequentialExchanges)
+{
+    net::HttpClient client("127.0.0.1", server_.port());
+
+    // Several exchanges over one connection, bodies of varied size so
+    // the framing (not luck) delimits them.
+    for (std::size_t len : {0u, 1u, 10u, 100000u, 3u}) {
+        net::HttpRequest req;
+        req.method = "PUT";
+        req.target = "/echo";
+        req.body.assign(len, 'x');
+        auto resp = client.request(req);
+        ASSERT_TRUE(resp.has_value()) << client.lastError();
+        EXPECT_EQ(resp->status, 200);
+        EXPECT_EQ(resp->body.size(), len);
+        EXPECT_EQ(resp->headers.get("X-Method"), "PUT");
+    }
+}
+
+TEST_F(EchoServerTest, ChunkedBodiesBothDirections)
+{
+    net::HttpClient client("127.0.0.1", server_.port());
+
+    // > 4096 bytes forces the multi-chunk path on both sides.
+    std::string body;
+    for (int i = 0; i < 3000; ++i)
+        body += std::to_string(i) + ";";
+
+    net::HttpRequest req;
+    req.method = "POST";
+    req.target = "/echo-chunked";
+    req.body = body;
+    req.chunked = true;
+    auto resp = client.request(req);
+    ASSERT_TRUE(resp.has_value()) << client.lastError();
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(resp->headers.get("Transfer-Encoding"), "chunked");
+    EXPECT_EQ(resp->body, body);
+}
+
+TEST_F(EchoServerTest, HeadResponsesCarryNoBody)
+{
+    net::HttpClient client("127.0.0.1", server_.port());
+    net::HttpRequest req;
+    req.method = "HEAD";
+    req.target = "/echo";
+    auto resp = client.request(req);
+    ASSERT_TRUE(resp.has_value()) << client.lastError();
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_TRUE(resp->body.empty());
+
+    // The connection must still be usable for a normal exchange.
+    req.method = "GET";
+    resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->headers.get("X-Method"), "GET");
+}
+
+TEST_F(EchoServerTest, TornRequestDoesNotWedgeTheServer)
+{
+    {
+        // A client that dies mid-request: send half a request line and
+        // disconnect.
+        net::Socket torn =
+            net::connectTcp("127.0.0.1", server_.port());
+        ASSERT_TRUE(torn.valid());
+        ASSERT_TRUE(torn.sendAll(std::string("GET /ha")));
+    } // closed here.
+
+    // The server must keep serving fresh connections.
+    net::HttpClient client("127.0.0.1", server_.port());
+    net::HttpRequest req;
+    req.target = "/still-alive";
+    auto resp = client.request(req);
+    ASSERT_TRUE(resp.has_value()) << client.lastError();
+    EXPECT_EQ(resp->headers.get("X-Target"), "/still-alive");
+}
+
+TEST_F(EchoServerTest, ClientRetriesWhenAKeepAliveConnectionDies)
+{
+    net::HttpClient client("127.0.0.1", server_.port());
+
+    // The ?close response makes the server drop the connection after
+    // answering; the client's next request must transparently
+    // reconnect instead of failing on the dead socket.
+    net::HttpRequest req;
+    req.target = "/first-close";
+    auto resp = client.request(req);
+    ASSERT_TRUE(resp.has_value()) << client.lastError();
+    EXPECT_EQ(resp->headers.get("Connection"), "close");
+
+    req.target = "/second";
+    resp = client.request(req);
+    ASSERT_TRUE(resp.has_value()) << client.lastError();
+    EXPECT_EQ(resp->headers.get("X-Target"), "/second");
+}
+
+TEST(Net, ServerRejectsOversizedDeclaredBodies)
+{
+    net::HttpServer server;
+    std::string error;
+    ASSERT_TRUE(server.start(
+        "127.0.0.1", 0,
+        [](const net::HttpRequest &) { return net::HttpResponse(); },
+        &error))
+        << error;
+
+    // A Content-Length beyond the cap must tear the connection, not
+    // allocate; the next well-formed request still works.
+    net::Socket sock = net::connectTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(sock.valid());
+    ASSERT_TRUE(sock.sendAll(std::string(
+        "PUT /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n")));
+    char byte = 0;
+    EXPECT_EQ(sock.recvSome(&byte, 1), 0); // orderly close, no reply.
+
+    net::HttpClient client("127.0.0.1", server.port());
+    net::HttpRequest req;
+    EXPECT_TRUE(client.request(req).has_value());
+}
+
+// ---- The store wire protocol -----------------------------------------------
+
+/** smtstore-in-process: a StoreService mounted on a loopback server,
+ *  with a RemoteResultStore client and a LocalDirStore view of the
+ *  same directory for cross-checking. */
+class RemoteStoreTest : public ::testing::Test
+{
+  protected:
+    RemoteStoreTest() : dir_("store"), service_(dir_.path()) {}
+
+    void SetUp() override
+    {
+        std::string error;
+        ASSERT_TRUE(server_.start(
+            "127.0.0.1", 0,
+            [this](const net::HttpRequest &req) {
+                return service_.handle(req);
+            },
+            &error))
+            << error;
+        url_ = "http://127.0.0.1:" + std::to_string(server_.port());
+        remote_ = sweep::openStore(url_);
+        local_ = sweep::openLocalStore(dir_.path());
+    }
+
+    TempDir dir_;
+    sweep::StoreService service_;
+    net::HttpServer server_;
+    std::string url_;
+    std::unique_ptr<sweep::ResultStore> remote_;
+    std::unique_ptr<sweep::ResultStore> local_;
+};
+
+TEST_F(RemoteStoreTest, OpenStoreDispatchesByLocator)
+{
+    EXPECT_EQ(remote_->description(), url_);
+    EXPECT_EQ(local_->description(), "dir:" + dir_.path());
+    EXPECT_TRUE(sweep::isRemoteStoreLocator(url_));
+    EXPECT_FALSE(sweep::isRemoteStoreLocator(dir_.path()));
+}
+
+TEST_F(RemoteStoreTest, HitMissAndBitIdenticalReplay)
+{
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+
+    EXPECT_FALSE(remote_->lookup(digest).has_value());
+
+    const DataPoint measured = measure(cfg, opts);
+    remote_->store(digest, cfg, opts, measured.stats, 1.25);
+
+    // The remote hit replays bit-identically, and the local view of
+    // the same directory agrees — the server wrote a normal entry.
+    const std::optional<SimStats> remote_hit = remote_->lookup(digest);
+    ASSERT_TRUE(remote_hit.has_value());
+    EXPECT_EQ(sweep::toJson(*remote_hit).dump(),
+              sweep::toJson(measured.stats).dump());
+    const std::optional<SimStats> local_hit = local_->lookup(digest);
+    ASSERT_TRUE(local_hit.has_value());
+    EXPECT_EQ(sweep::toJson(*local_hit).dump(),
+              sweep::toJson(measured.stats).dump());
+
+    EXPECT_EQ(remote_->storedDigests(),
+              std::vector<std::string>{digest});
+
+    // Observed cost round-trips through the entry, singly and in bulk.
+    const std::optional<double> cost = remote_->observedCost(digest);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_NEAR(*cost, 1.25, 1e-12);
+    const std::map<std::string, double> costs = remote_->observedCosts();
+    ASSERT_EQ(costs.size(), 1u);
+    EXPECT_NEAR(costs.at(digest), 1.25, 1e-12);
+    EXPECT_EQ(local_->observedCosts(), costs);
+}
+
+TEST_F(RemoteStoreTest, RemoteEntriesAreByteIdenticalToLocalOnes)
+{
+    const SmtConfig cfg = presets::baseSmt(2);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+    const DataPoint measured = measure(cfg, opts);
+
+    remote_->store(digest, cfg, opts, measured.stats, 0.5);
+    const std::string entry_path = dir_.path() + "/" + digest + ".json";
+    std::string remote_bytes;
+    {
+        std::ifstream in(entry_path, std::ios::binary);
+        remote_bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_FALSE(remote_bytes.empty());
+
+    fs::remove(entry_path);
+    local_->store(digest, cfg, opts, measured.stats, 0.5);
+    std::string local_bytes;
+    {
+        std::ifstream in(entry_path, std::ios::binary);
+        local_bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    EXPECT_EQ(remote_bytes, local_bytes);
+}
+
+TEST_F(RemoteStoreTest, CorruptEntriesAreMissesNotErrors)
+{
+    const std::string digest(32, 'c');
+    {
+        std::ofstream out(dir_.path() + "/" + digest + ".json");
+        out << "{\"digest\": \"" << digest << "\", truncated";
+    }
+    EXPECT_FALSE(remote_->lookup(digest).has_value());
+    EXPECT_FALSE(local_->lookup(digest).has_value());
+    // A corrupt entry is not done work.
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::Pending);
+}
+
+TEST_F(RemoteStoreTest, ServerRejectsDigestMismatchedUploads)
+{
+    const std::string digest(32, 'd');
+    net::HttpClient client("127.0.0.1", server_.port());
+    net::HttpRequest req;
+    req.method = "PUT";
+    req.target = "/v1/entries/" + digest;
+    req.body = "{\"digest\": \"" + digest + "\", \"stats\": {}}";
+    // A digest for *different* bytes: the upload must be rejected and
+    // nothing committed.
+    req.headers.set("X-Content-Digest",
+                    sweep::contentDigest("other bytes"));
+    auto resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 400);
+    EXPECT_TRUE(remote_->storedDigests().empty());
+
+    // And a PUT whose body is an entry for some other digest is also
+    // rejected, even with a correct content digest.
+    req.body = "{\"digest\": \"" + std::string(32, 'e')
+               + "\", \"stats\": {}}";
+    req.headers.set("X-Content-Digest",
+                    sweep::contentDigest(req.body));
+    resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 400);
+}
+
+TEST_F(RemoteStoreTest, MarkerStateMachineMatchesLocalSemantics)
+{
+    const std::string digest(32, 'a');
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::Pending);
+    EXPECT_EQ(remote_->readMarkerText(digest), "");
+
+    remote_->markInProgress(digest);
+    // This process is alive on the server's host, so both views agree.
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::InProgress);
+    EXPECT_EQ(local_->state(digest), sweep::WorkState::InProgress);
+    EXPECT_FALSE(remote_->readMarkerText(digest).empty());
+
+    remote_->clearInProgress(digest);
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::Pending);
+
+    remote_->markOrphaned(digest);
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::Orphaned);
+    EXPECT_EQ(local_->state(digest), sweep::WorkState::Orphaned);
+}
+
+TEST_F(RemoteStoreTest, ClaimCasAdmitsExactlyOneAdopter)
+{
+    const std::string digest(32, 'b');
+    remote_->markOrphaned(digest);
+    const std::string marker = remote_->readMarkerText(digest);
+    ASSERT_FALSE(marker.empty());
+
+    // First adopter wins; the marker now names this process.
+    EXPECT_TRUE(remote_->tryAdopt(digest, marker));
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::InProgress);
+
+    // A retry of the same claim (the winner's response was torn and
+    // the client resent it) must still read as success.
+    EXPECT_TRUE(remote_->tryAdopt(digest, marker));
+
+    // A rival — someone else's marker bytes are on the digest now —
+    // holding the stale orphan marker loses.
+    sweep::Json rival = sweep::Json::object();
+    rival.set("pid", sweep::Json(std::uint64_t{999999999}));
+    rival.set("host", sweep::Json("elsewhere"));
+    static_cast<sweep::LocalDirStore *>(local_.get())
+        ->writeMarker(digest, rival);
+    EXPECT_FALSE(remote_->tryAdopt(digest, marker));
+
+    // Done work cannot be claimed at all.
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string done_digest = sweep::measurementDigest(cfg, opts);
+    remote_->store(done_digest, cfg, opts, measure(cfg, opts).stats);
+    EXPECT_FALSE(
+        remote_->tryAdopt(done_digest,
+                          remote_->readMarkerText(done_digest)));
+    EXPECT_EQ(remote_->state(done_digest), sweep::WorkState::Done);
+}
+
+TEST_F(RemoteStoreTest, ManifestRoundTrips)
+{
+    EXPECT_FALSE(remote_->readManifest().has_value());
+    sweep::Json manifest = sweep::Json::object();
+    manifest.set("experiment", sweep::Json("smoke"));
+    manifest.set("shardCount", sweep::Json(2u));
+    remote_->writeManifest(manifest);
+
+    const std::optional<sweep::Json> read = remote_->readManifest();
+    ASSERT_TRUE(read.has_value());
+    EXPECT_TRUE(*read == manifest);
+    const std::optional<sweep::Json> local_read = local_->readManifest();
+    ASSERT_TRUE(local_read.has_value());
+    EXPECT_TRUE(*local_read == manifest);
+
+    // The manifest is not an entry.
+    EXPECT_TRUE(remote_->storedDigests().empty());
+}
+
+TEST(RemoteStore, UnreachableServerDegradesToMisses)
+{
+    // Nothing listens on this ephemeral port once the server that
+    // owned it stops.
+    net::HttpServer server;
+    ASSERT_TRUE(server.start("127.0.0.1", 0,
+                             [](const net::HttpRequest &) {
+                                 return net::HttpResponse();
+                             }));
+    const std::uint16_t dead_port = server.port();
+    server.stop();
+
+    std::unique_ptr<sweep::ResultStore> store = sweep::openStore(
+        "http://127.0.0.1:" + std::to_string(dead_port));
+    const std::string digest(32, 'f');
+    EXPECT_FALSE(store->lookup(digest).has_value());
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Pending);
+    EXPECT_TRUE(store->storedDigests().empty());
+    EXPECT_FALSE(store->readManifest().has_value());
+}
+
+// ---- The ssh launcher ------------------------------------------------------
+
+TEST(SshLauncher, ShellQuotingAndCommandConstruction)
+{
+    EXPECT_EQ(dist::shellQuoteArg("plain"), "'plain'");
+    EXPECT_EQ(dist::shellQuoteArg("a b"), "'a b'");
+    EXPECT_EQ(dist::shellQuoteArg("it's"), "'it'\\''s'");
+
+    const std::vector<std::string> argv =
+        dist::sshArgv("ssh", "user@hostA",
+                      {"/opt/smtsweep", "--shard", "0/2"});
+    ASSERT_EQ(argv.size(), 5u);
+    EXPECT_EQ(argv[0], "ssh");
+    EXPECT_EQ(argv[1], "-o");
+    EXPECT_EQ(argv[2], "BatchMode=yes");
+    EXPECT_EQ(argv[3], "user@hostA");
+    EXPECT_EQ(argv[4], "exec '/opt/smtsweep' '--shard' '0/2'");
+
+    EXPECT_EQ(dist::parseHostList("a,b,,user@c"),
+              (std::vector<std::string>{"a", "b", "user@c"}));
+    EXPECT_TRUE(dist::parseHostList("").empty());
+}
+
+TEST(SshLauncher, CapturesHeartbeatsAndForwardsOutput)
+{
+    // A stub ssh that ignores its host and runs the command locally:
+    // the whole pipe/capture path works without an sshd.
+    TempDir dir("fakessh");
+    const std::string stub = dir.path() + "/fake-ssh";
+    {
+        std::ofstream out(stub);
+        out << "#!/bin/sh\n"
+               "# args: -o BatchMode=yes HOST COMMAND\n"
+               "shift 3\n"
+               "exec /bin/sh -c \"$1\"\n";
+    }
+    ::chmod(stub.c_str(), 0755);
+
+    dist::SshWorkerLauncher launcher({"ignored-host"}, stub);
+    EXPECT_TRUE(launcher.capturesProgress());
+
+    const std::string heartbeat =
+        "{\"shard\":0,\"done\":3,\"total\":4,\"hits\":1,\"stolen\":2,"
+        "\"wall\":0.5,\"finished\":true}";
+    const long handle = launcher.launch(
+        0, {"/bin/sh", "-c",
+            "echo '" + heartbeat + "'; echo not-a-record; exit 7"});
+
+    int exit_code = -1;
+    launcher.wait(handle, exit_code);
+    EXPECT_EQ(exit_code, 7);
+
+    dist::ProgressRecord rec;
+    ASSERT_TRUE(launcher.latestProgress(handle, rec));
+    EXPECT_EQ(rec.pointsDone, 3u);
+    EXPECT_EQ(rec.pointsTotal, 4u);
+    EXPECT_EQ(rec.cacheHits, 1u);
+    EXPECT_EQ(rec.stolen, 2u);
+    EXPECT_TRUE(rec.finished);
+}
+
+// ---- The acceptance bar ----------------------------------------------------
+
+TEST(RemoteStore, TwoShardSweepOverLoopbackMergesBitIdenticalToSerial)
+{
+    const sweep::NamedExperiment *smoke =
+        sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+
+    // The reference: a serial, cache-less sweep.
+    sweep::RunnerOptions serial;
+    serial.measure = tinyOptions();
+    serial.measure.parallel = false;
+    const sweep::SweepOutcome reference =
+        sweep::runSweep(smoke->spec, serial);
+
+    // An in-process smtstore...
+    TempDir dir("loopback");
+    sweep::StoreService service(dir.path());
+    net::HttpServer server;
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0,
+                             [&service](const net::HttpRequest &req) {
+                                 return service.handle(req);
+                             },
+                             &error))
+        << error;
+    const std::string url =
+        "http://127.0.0.1:" + std::to_string(server.port());
+
+    // ...backing both workers of a 2-shard run: every result, marker,
+    // and heartbeat-visible byte crosses the wire.
+    sweep::RunnerOptions shard_opts;
+    shard_opts.measure = tinyOptions();
+    shard_opts.cacheDir = url;
+    const dist::ShardRunResult s0 =
+        dist::runShard(smoke->spec, shard_opts, 0, 2);
+    const dist::ShardRunResult s1 =
+        dist::runShard(smoke->spec, shard_opts, 1, 2);
+    EXPECT_EQ(s0.points + s1.points, reference.points.size());
+    EXPECT_EQ(s0.cacheHits + s1.cacheHits, 0u);
+
+    // The merge: a pure replay of the remote store.
+    sweep::RunnerOptions merge_opts = shard_opts;
+    merge_opts.requireCached = true; // would abort on any miss.
+    const sweep::SweepOutcome merged =
+        sweep::runSweep(smoke->spec, merge_opts);
+    EXPECT_EQ(merged.cacheHits, merged.points.size());
+    EXPECT_EQ(merged.cacheMisses, 0u);
+
+    ASSERT_EQ(merged.points.size(), reference.points.size());
+    for (std::size_t i = 0; i < merged.points.size(); ++i) {
+        EXPECT_EQ(merged.points[i].digest, reference.points[i].digest);
+        EXPECT_EQ(sweep::toJson(merged.points[i].data.stats).dump(),
+                  sweep::toJson(reference.points[i].data.stats).dump());
+    }
+}
+
+} // namespace
+} // namespace smt

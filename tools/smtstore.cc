@@ -1,0 +1,168 @@
+/**
+ * @file
+ * smtstore: serve a result-store directory over HTTP so distributed
+ * sweep workers on other machines can share it by URL.
+ *
+ *   smtstore --dir DIR [--bind ADDR] [--port N]
+ *       serve DIR (created if needed) on http://ADDR:N; every sweep
+ *       tool then accepts the URL wherever it accepts --cache-dir
+ *       (e.g. `smtsweep --store-url http://host:8377 ...`);
+ *   smtstore --ping URL
+ *       probe a running server (exit 0 when it answers) — CI uses
+ *       this to wait for startup without external tools.
+ *
+ * The wire protocol (digest-keyed entries with content-digest
+ * verification on both ends, markers, claim CAS, manifest) is
+ * documented in src/sweep/store_service.hh.
+ */
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/http_server.hh"
+#include "sweep/remote_store.hh"
+#include "sweep/store_service.hh"
+
+namespace
+{
+
+volatile sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+int
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: smtstore --dir DIR [options]\n"
+        "       smtstore --ping URL\n"
+        "\n"
+        "options:\n"
+        "  --dir DIR       store directory to serve (default .smtstore)\n"
+        "  --bind ADDR     listen address (default 127.0.0.1; use\n"
+        "                  0.0.0.0 for other machines)\n"
+        "  --port N        listen port (default 8377; 0 picks an\n"
+        "                  ephemeral port, printed on startup)\n"
+        "  --ping URL      probe a running server and exit\n"
+        "  --verbose       log every request\n");
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace smt;
+
+    std::string dir = ".smtstore";
+    std::string bind_addr = "127.0.0.1";
+    std::string ping_url;
+    unsigned port = 8377;
+    bool verbose = false;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "smtstore: %s needs a value\n", argv[i]);
+            std::exit(usage(2));
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--dir") == 0)
+            dir = next_arg(i);
+        else if (std::strcmp(arg, "--bind") == 0)
+            bind_addr = next_arg(i);
+        else if (std::strcmp(arg, "--port") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0' || n > 65535) {
+                std::fprintf(stderr,
+                             "smtstore: --port needs 0..65535, got "
+                             "\"%s\"\n",
+                             value);
+                return usage(2);
+            }
+            port = static_cast<unsigned>(n);
+        }
+        else if (std::strcmp(arg, "--ping") == 0)
+            ping_url = next_arg(i);
+        else if (std::strcmp(arg, "--verbose") == 0)
+            verbose = true;
+        else if (std::strcmp(arg, "--help") == 0
+                 || std::strcmp(arg, "-h") == 0)
+            return usage(0);
+        else {
+            std::fprintf(stderr, "smtstore: unknown option %s\n", arg);
+            return usage(2);
+        }
+    }
+
+    if (!ping_url.empty()) {
+        net::Url url;
+        if (!net::parseUrl(ping_url, url)) {
+            std::fprintf(stderr, "smtstore: malformed URL \"%s\"\n",
+                         ping_url.c_str());
+            return 2;
+        }
+        const sweep::RemoteResultStore store(url);
+        std::string error;
+        if (store.ping(&error)) {
+            std::printf("smtstore at %s is alive\n", ping_url.c_str());
+            return 0;
+        }
+        std::fprintf(stderr, "smtstore: %s is not answering: %s\n",
+                     ping_url.c_str(), error.c_str());
+        return 1;
+    }
+
+    sweep::StoreService service(dir, verbose);
+    net::HttpServer server;
+    std::string error;
+    if (!server.start(bind_addr, static_cast<std::uint16_t>(port),
+                      [&service](const net::HttpRequest &req) {
+                          return service.handle(req);
+                      },
+                      &error)) {
+        std::fprintf(stderr, "smtstore: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::printf("smtstore: serving %s on http://%s:%u\n",
+                service.dir().c_str(), bind_addr.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    // Block the shutdown signals, then wait with sigsuspend: the
+    // check-then-wait is atomic, so a signal landing between the test
+    // and the wait cannot be lost (the classic pause() race).
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    sigset_t block, old;
+    ::sigemptyset(&block);
+    ::sigaddset(&block, SIGINT);
+    ::sigaddset(&block, SIGTERM);
+    ::sigprocmask(SIG_BLOCK, &block, &old);
+    while (g_stop == 0)
+        ::sigsuspend(&old);
+    ::sigprocmask(SIG_SETMASK, &old, nullptr);
+
+    std::printf("smtstore: shutting down\n");
+    server.stop();
+    return 0;
+}

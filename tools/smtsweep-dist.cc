@@ -9,12 +9,17 @@
  *       store (live progress + ETA on stderr), then merge the store
  *       into the same report a serial `smtsweep --experiment smoke`
  *       prints — bit-identical per-point stats;
- *   smtsweep-dist --status --cache-dir DIR
+ *   smtsweep-dist --experiment fig5 --shards 4 \
+ *       --hosts hostA,hostB --store-url http://hostC:8377
+ *       the same, but workers run over ssh on a host list against a
+ *       store served by `smtstore` — shards span machines;
+ *   smtsweep-dist --status --cache-dir DIR|--store-url URL [--json -]
  *       audit a store against its manifest (done / in-progress /
- *       orphaned / pending work).
+ *       orphaned / pending work), optionally as JSON.
  *
- * Workers run on this host; `--hosts` is the (unimplemented) hook for
- * the remote backend — see ROADMAP.md.
+ * Worker deaths are absorbed by orphan-aware work stealing (idle
+ * workers adopt the dead shard's digests through the store claim CAS)
+ * unless --no-steal asks for the classic per-shard relaunch.
  */
 
 #include <unistd.h>
@@ -26,6 +31,7 @@
 
 #include "dist/coordinator.hh"
 #include "sweep/experiments.hh"
+#include "sweep/remote_store.hh"
 #include "sweep/runner.hh"
 
 namespace
@@ -37,7 +43,8 @@ usage(int code)
     std::fprintf(
         code == 0 ? stdout : stderr,
         "usage: smtsweep-dist --experiment NAME [options]\n"
-        "       smtsweep-dist --status --cache-dir DIR\n"
+        "       smtsweep-dist --status [--cache-dir DIR | "
+        "--store-url URL]\n"
         "\n"
         "options:\n"
         "  --experiment NAME   experiment to run (see smtsweep --list)\n"
@@ -45,14 +52,25 @@ usage(int code)
         "(default 2)\n"
         "  --cache-dir DIR     shared result store (default\n"
         "                      $SMTSWEEP_CACHE or .smtsweep-cache)\n"
-        "  --retries K         relaunches per failed shard (default 1)\n"
+        "  --store-url URL     remote store served by smtstore\n"
+        "                      (http://host:port; same slot as\n"
+        "                      --cache-dir)\n"
+        "  --retries K         relaunches per failed shard with\n"
+        "                      --no-steal (default 1)\n"
+        "  --no-steal          relaunch dead shards instead of letting\n"
+        "                      surviving workers adopt their orphans\n"
+        "  --steal-wait S      orphan-adoption grace seconds per\n"
+        "                      worker (default 10)\n"
         "  --jobs N            pool threads per worker (default:\n"
         "                      cores / shards)\n"
         "  --smtsweep PATH     worker binary (default: smtsweep beside\n"
-        "                      this executable)\n"
-        "  --hosts LIST        remote host list (reserved; not yet\n"
-        "                      implemented)\n"
-        "  --json PATH         write the coordinator summary\n"
+        "                      this executable; with --hosts, the\n"
+        "                      path on the remote hosts)\n"
+        "  --hosts LIST        run workers over ssh on these hosts\n"
+        "                      (comma-separated, round-robin)\n"
+        "  --ssh CMD           ssh program for --hosts (default ssh)\n"
+        "  --json PATH         write the coordinator summary (with\n"
+        "                      --status: the audit; \"-\" = stdout)\n"
         "  --cycles N          measured cycles per run\n"
         "  --warmup N          warmup cycles per run\n"
         "  --runs N            rotation runs per data point\n"
@@ -127,8 +145,25 @@ main(int argc, char **argv)
             experiment = next_arg(i);
         else if (std::strcmp(arg, "--shards") == 0)
             opts.shards = positive(i);
-        else if (std::strcmp(arg, "--cache-dir") == 0)
+        else if (std::strcmp(arg, "--cache-dir") == 0
+                 || std::strcmp(arg, "--store-url") == 0)
             opts.ropts.cacheDir = next_arg(i);
+        else if (std::strcmp(arg, "--no-steal") == 0)
+            opts.steal = false;
+        else if (std::strcmp(arg, "--steal-wait") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            opts.stealWaitSeconds = std::strtod(value, &end);
+            if (end == value || opts.stealWaitSeconds < 0.0) {
+                std::fprintf(stderr,
+                             "smtsweep-dist: --steal-wait needs "
+                             "seconds, got \"%s\"\n",
+                             value);
+                return usage(2);
+            }
+        }
+        else if (std::strcmp(arg, "--ssh") == 0)
+            opts.sshProgram = next_arg(i);
         else if (std::strcmp(arg, "--retries") == 0) {
             const char *value = next_arg(i);
             char *end = nullptr;
@@ -177,7 +212,8 @@ main(int argc, char **argv)
     }
 
     if (status_mode)
-        return dist::auditStore(opts.ropts.cacheDir, opts.ropts.verbose);
+        return dist::auditStore(opts.ropts.cacheDir, opts.ropts.verbose,
+                                json_path);
 
     if (experiment.empty()) {
         std::fprintf(stderr, "smtsweep-dist: no experiment named "
@@ -194,13 +230,24 @@ main(int argc, char **argv)
     }
     if (opts.smtsweepPath.empty())
         opts.smtsweepPath = defaultWorkerPath();
-    if (::access(opts.smtsweepPath.c_str(), X_OK) != 0) {
+    // With --hosts the worker path names a binary on the remote
+    // machines; only the local case can be vetted up front.
+    if (opts.hostList.empty()
+        && ::access(opts.smtsweepPath.c_str(), X_OK) != 0) {
         std::fprintf(stderr,
                      "smtsweep-dist: worker binary %s is not runnable; "
                      "pass --smtsweep PATH\n",
                      opts.smtsweepPath.c_str());
         return 2;
     }
+    if (!opts.hostList.empty()
+        && !sweep::isRemoteStoreLocator(opts.ropts.cacheDir))
+        std::fprintf(stderr,
+                     "smtsweep-dist: note: --hosts with a directory "
+                     "store (%s) requires that path to be a shared "
+                     "filesystem on every host; serve it with smtstore "
+                     "and pass --store-url otherwise\n",
+                     opts.ropts.cacheDir.c_str());
 
     dist::DistOutcome outcome;
     const int rc = dist::runDistributed(*e, opts, outcome);

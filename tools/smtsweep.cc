@@ -44,6 +44,9 @@ usage(int code)
         "  --experiment NAME   experiment to run (repeatable)\n"
         "  --cache-dir DIR     result cache directory (default\n"
         "                      $SMTSWEEP_CACHE or .smtsweep-cache)\n"
+        "  --store-url URL     shared result store served by smtstore\n"
+        "                      (http://host:port; same slot as\n"
+        "                      --cache-dir)\n"
         "  --no-cache          disable the result cache\n"
         "  --require-cached    fail on any cache miss\n"
         "  --json PATH         write a BENCH_sweep.json artifact\n"
@@ -56,6 +59,12 @@ usage(int code)
         "                      store (the smtsweep-dist worker protocol;\n"
         "                      no report is printed)\n"
         "  --progress-file P   append JSONL heartbeat records to P\n"
+        "  --progress-stdout   heartbeat to stdout instead (remote\n"
+        "                      workers; the coordinator captures it)\n"
+        "  --steal             after the shard: adopt orphaned digests\n"
+        "                      of dead shards via the store claim CAS\n"
+        "  --steal-wait S      grace seconds to linger for orphans\n"
+        "                      (default 10)\n"
         "  --verbose           log per-point cache hits/misses\n");
     return code;
 }
@@ -97,8 +106,8 @@ main(int argc, char **argv)
 
     std::vector<std::string> names;
     std::string json_path;
-    std::string progress_path;
-    unsigned shard_index = 0, shard_count = 0;
+    smt::dist::ShardWorkerOptions wopts;
+    unsigned shard_count = 0;
     bool list = false;
     std::vector<std::string> describe;
 
@@ -114,7 +123,8 @@ main(int argc, char **argv)
         const char *arg = argv[i];
         if (std::strcmp(arg, "--experiment") == 0)
             names.push_back(next_arg(i));
-        else if (std::strcmp(arg, "--cache-dir") == 0)
+        else if (std::strcmp(arg, "--cache-dir") == 0
+                 || std::strcmp(arg, "--store-url") == 0)
             ropts.cacheDir = next_arg(i);
         else if (std::strcmp(arg, "--no-cache") == 0)
             ropts.cacheDir.clear();
@@ -152,10 +162,28 @@ main(int argc, char **argv)
                 return 2;
             }
         }
-        else if (std::strcmp(arg, "--shard") == 0)
-            parseShardSpec(next_arg(i), shard_index, shard_count);
+        else if (std::strcmp(arg, "--shard") == 0) {
+            parseShardSpec(next_arg(i), wopts.index, shard_count);
+            wopts.count = shard_count;
+        }
         else if (std::strcmp(arg, "--progress-file") == 0)
-            progress_path = next_arg(i);
+            wopts.progressPath = next_arg(i);
+        else if (std::strcmp(arg, "--progress-stdout") == 0)
+            wopts.progressToStdout = true;
+        else if (std::strcmp(arg, "--steal") == 0)
+            wopts.steal.enabled = true;
+        else if (std::strcmp(arg, "--steal-wait") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            wopts.steal.waitSeconds = std::strtod(value, &end);
+            if (end == value || wopts.steal.waitSeconds < 0.0) {
+                std::fprintf(stderr,
+                             "smtsweep: --steal-wait needs seconds, "
+                             "got \"%s\"\n",
+                             value);
+                return 2;
+            }
+        }
         else if (std::strcmp(arg, "--serial") == 0)
             ropts.measure.parallel = false;
         else if (std::strcmp(arg, "--verbose") == 0)
@@ -217,12 +245,12 @@ main(int argc, char **argv)
                                  "store; do not pass --no-cache\n");
             return usage(2);
         }
-        const smt::dist::ShardRunResult r = smt::dist::runShard(
-            e->spec, ropts, shard_index, shard_count, progress_path);
+        const smt::dist::ShardRunResult r =
+            smt::dist::runShard(e->spec, ropts, wopts);
         std::printf("shard %u/%u of %s: %zu points (%zu hits, "
-                    "%zu misses), %.2fs wall\n",
-                    shard_index, shard_count, names[0].c_str(), r.points,
-                    r.cacheHits, r.cacheMisses, r.wallSeconds);
+                    "%zu misses), %zu stolen, %.2fs wall\n",
+                    wopts.index, wopts.count, names[0].c_str(), r.points,
+                    r.cacheHits, r.cacheMisses, r.stolen, r.wallSeconds);
         return 0;
     }
 
