@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# check-docs.sh [BUILD_DIR] — the docs link check CI runs.
+#
+# Verifies, over README.md and docs/*.md:
+#  1. every relative markdown link resolves to a file in the repo;
+#  2. every tool the docs name (any `smt...` word) exists in tools/;
+#  3. with a BUILD_DIR: every `--flag` the docs cite appears in some
+#     tool's --help output — the help text is the canonical flag
+#     list, and the docs must not drift from it.
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-}"
+fail=0
+
+docs=("$repo/README.md")
+for f in "$repo"/docs/*.md; do
+    docs+=("$f")
+done
+
+# 1. Relative links resolve.
+for f in "${docs[@]}"; do
+    dir="$(dirname "$f")"
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in ${f#"$repo"/}: ($target)"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//')
+done
+
+# 2. Tools named in the docs exist. ("smtsim" is the project, "smt"
+#    the library namespace prefix.)
+allow_tools="smtsim smt"
+for f in "${docs[@]}"; do
+    while IFS= read -r name; do
+        skip=0
+        for a in $allow_tools; do
+            [ "$name" = "$a" ] && skip=1
+        done
+        [ "$skip" = 1 ] && continue
+        if [ ! -e "$repo/tools/$name.cc" ]; then
+            echo "unknown tool named in ${f#"$repo"/}: $name"
+            fail=1
+        fi
+    done < <(grep -ohE '\bsmt[a-z][a-z-]*' "$f" | sed 's/-$//' | sort -u)
+done
+
+# 3. Flags cited in the docs exist in a tool's --help.
+#    (--output-on-failure and --build belong to ctest/cmake, cited in
+#    build lines.)
+allow_flags="--output-on-failure --build"
+if [ -n "$build" ]; then
+    if [ ! -x "$build/smtsweep" ]; then
+        echo "no tools in build dir $build"
+        exit 2
+    fi
+    help_all="$("$build/smtsweep" --help
+        "$build/smtsweep-dist" --help
+        "$build/smtstore" --help)"
+    for f in "${docs[@]}"; do
+        while IFS= read -r flag; do
+            skip=0
+            for a in $allow_flags; do
+                [ "$flag" = "$a" ] && skip=1
+            done
+            [ "$skip" = 1 ] && continue
+            if ! printf '%s' "$help_all" | grep -q -- "$flag"; then
+                echo "flag cited in ${f#"$repo"/} missing from every" \
+                     "tool --help: $flag"
+                fail=1
+            fi
+        done < <(grep -ohE '(^|[^a-zA-Z-])--[a-z][a-z-]+' "$f" \
+                 | grep -oE -- '--[a-z][a-z-]+' | sort -u)
+    done
+fi
+
+if [ "$fail" = 0 ]; then
+    echo "docs check: OK (${#docs[@]} files)"
+fi
+exit "$fail"

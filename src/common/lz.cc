@@ -1,0 +1,176 @@
+#include "common/lz.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace smt
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'L', 'Z', '1'};
+constexpr std::size_t kWindow = 4096;   // 12-bit offsets, 1..4095.
+constexpr std::size_t kMinMatch = 3;    // shorter copies cost more
+                                        // than literals.
+constexpr std::size_t kMaxMatch = kMinMatch + 15; // 4-bit length field.
+
+/** 3-byte rolling hash into the match-candidate table. */
+inline std::uint32_t
+hash3(const unsigned char *p)
+{
+    const std::uint32_t v = static_cast<std::uint32_t>(p[0])
+                            | (static_cast<std::uint32_t>(p[1]) << 8)
+                            | (static_cast<std::uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> 19; // 13-bit table index.
+}
+
+void
+putUvarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+bool
+getUvarint(const std::string &in, std::size_t &pos, std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (pos >= in.size())
+            return false;
+        const unsigned char byte =
+            static_cast<unsigned char>(in[pos++]);
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+    }
+    return false; // more than 64 bits: malformed.
+}
+
+} // namespace
+
+std::string
+lzCompress(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size() / 2 + 16);
+    out.append(kMagic, sizeof kMagic);
+    putUvarint(out, in.size());
+
+    const unsigned char *data =
+        reinterpret_cast<const unsigned char *>(in.data());
+    const std::size_t n = in.size();
+
+    // One candidate per 3-byte hash (the newest occurrence): cheap,
+    // and plenty for the protocol's repetitive JSON bodies.
+    std::size_t head[1u << 13];
+    for (std::size_t &h : head)
+        h = SIZE_MAX;
+
+    std::size_t pos = 0;
+    while (pos < n) {
+        // Gather up to 8 tokens, then emit their control byte first.
+        unsigned char control = 0;
+        std::string tokens;
+        for (unsigned bit = 0; bit < 8 && pos < n; ++bit) {
+            std::size_t match_len = 0;
+            std::size_t match_off = 0;
+            if (pos + kMinMatch <= n) {
+                const std::uint32_t h = hash3(data + pos);
+                const std::size_t cand = head[h];
+                head[h] = pos;
+                if (cand != SIZE_MAX && cand < pos
+                    && pos - cand < kWindow) {
+                    const std::size_t limit =
+                        std::min(kMaxMatch, n - pos);
+                    std::size_t len = 0;
+                    while (len < limit
+                           && data[cand + len] == data[pos + len])
+                        ++len;
+                    if (len >= kMinMatch) {
+                        match_len = len;
+                        match_off = pos - cand;
+                    }
+                }
+            }
+            if (match_len > 0) {
+                control |= static_cast<unsigned char>(1u << bit);
+                const std::uint16_t word = static_cast<std::uint16_t>(
+                    (match_off << 4)
+                    | (match_len - kMinMatch));
+                tokens.push_back(static_cast<char>(word & 0xff));
+                tokens.push_back(static_cast<char>(word >> 8));
+                pos += match_len;
+            } else {
+                tokens.push_back(static_cast<char>(data[pos]));
+                ++pos;
+            }
+        }
+        out.push_back(static_cast<char>(control));
+        out += tokens;
+    }
+    return out;
+}
+
+std::optional<std::string>
+lzDecompress(const std::string &in, std::size_t max_size)
+{
+    if (in.size() < sizeof kMagic
+        || std::memcmp(in.data(), kMagic, sizeof kMagic) != 0)
+        return std::nullopt;
+    std::size_t pos = sizeof kMagic;
+    std::uint64_t declared = 0;
+    // An n-byte stream decodes to at most ~8.5n bytes (a 17-byte
+    // token group — control byte + 8 two-byte matches — yields at
+    // most 144), so a declared size beyond 9n is malformed on its
+    // face. Rejecting it here keeps a tiny hostile header from
+    // reserving max_size bytes before the stream is ever validated.
+    if (!getUvarint(in, pos, declared) || declared > max_size
+        || declared > in.size() * 9)
+        return std::nullopt;
+
+    std::string out;
+    out.reserve(static_cast<std::size_t>(declared));
+    while (out.size() < declared) {
+        if (pos >= in.size())
+            return std::nullopt; // truncated stream.
+        const unsigned char control =
+            static_cast<unsigned char>(in[pos++]);
+        for (unsigned bit = 0; bit < 8 && out.size() < declared;
+             ++bit) {
+            if ((control & (1u << bit)) == 0) {
+                if (pos >= in.size())
+                    return std::nullopt;
+                out.push_back(in[pos++]);
+                continue;
+            }
+            if (pos + 2 > in.size())
+                return std::nullopt;
+            const std::uint16_t word = static_cast<std::uint16_t>(
+                static_cast<unsigned char>(in[pos])
+                | (static_cast<unsigned char>(in[pos + 1]) << 8));
+            pos += 2;
+            const std::size_t off = word >> 4;
+            const std::size_t len = (word & 0xf) + kMinMatch;
+            if (off == 0 || off > out.size()
+                || out.size() + len > declared)
+                return std::nullopt; // offset outside the window, or
+                                     // a copy past the declared end.
+            // Byte-at-a-time: matches may overlap their own output
+            // (the classic run-length case).
+            const std::size_t start = out.size() - off;
+            for (std::size_t i = 0; i < len; ++i)
+                out.push_back(out[start + i]);
+        }
+    }
+    if (pos != in.size())
+        return std::nullopt; // trailing garbage is corruption too.
+    return out;
+}
+
+} // namespace smt

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A dependency-free LZ77 codec for store-entry transfer compression.
+ *
+ * The wire protocol negotiates this as `Content-Encoding: x-smt-lz`
+ * (see docs/PROTOCOL.md): result-cache entries are verbose JSON with
+ * long repeated key paths, which an LZ window compresses several-fold
+ * without pulling zlib into the build.
+ *
+ * Format "SLZ1": a 4-byte magic, the uncompressed size as a uvarint,
+ * then a token stream — control bytes whose bits (LSB first) select
+ * literal (one raw byte) or match (two bytes: a 12-bit backward offset
+ * and a 4-bit length, encoding copies of 3..18 bytes from a 4 KiB
+ * window). Decoding is bounds-checked everywhere; any malformed input
+ * decodes to "nothing" rather than garbage, so a corrupt compressed
+ * body is indistinguishable from a torn transfer — the safe failure
+ * mode the store already treats as a cache miss.
+ */
+
+#ifndef SMT_COMMON_LZ_HH
+#define SMT_COMMON_LZ_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace smt
+{
+
+/** The Content-Encoding token the store protocol negotiates. */
+inline constexpr const char *kLzEncodingName = "x-smt-lz";
+
+/** Compress `in` (any bytes, any size; "" compresses to a header). */
+std::string lzCompress(const std::string &in);
+
+/**
+ * Decompress an lzCompress() stream. Empty optional when the input is
+ * not a well-formed "SLZ1" stream, is truncated, declares a size above
+ * `max_size`, or does not decode to exactly its declared size.
+ */
+std::optional<std::string> lzDecompress(const std::string &in,
+                                        std::size_t max_size);
+
+} // namespace smt
+
+#endif // SMT_COMMON_LZ_HH

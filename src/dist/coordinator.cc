@@ -4,6 +4,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstring>
+
+extern char **environ;
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -85,23 +89,40 @@ declareShardOrphans(sweep::ResultStore &store, const ShardPlan &plan,
 
 } // namespace
 
+void
+LocalProcessLauncher::setStoreToken(const std::string &token)
+{
+    tokenEnv_ = token.empty() ? "" : "SMTSTORE_TOKEN=" + token;
+}
+
 long
 LocalProcessLauncher::launch(unsigned shard,
                              const std::vector<std::string> &argv)
 {
-    // Build the exec vector before forking: the child must go straight
-    // to execv without touching the heap.
+    // Build the exec vectors before forking: the child must go
+    // straight to execve without touching the heap. The token rides
+    // the environment, never argv — argv is world-readable via ps.
     std::vector<char *> cargv;
     cargv.reserve(argv.size() + 1);
     for (const std::string &arg : argv)
         cargv.push_back(const_cast<char *>(arg.c_str()));
     cargv.push_back(nullptr);
 
+    std::vector<char *> cenv;
+    for (char **e = environ; *e != nullptr; ++e) {
+        if (tokenEnv_.empty()
+            || std::strncmp(*e, "SMTSTORE_TOKEN=", 15) != 0)
+            cenv.push_back(*e);
+    }
+    if (!tokenEnv_.empty())
+        cenv.push_back(const_cast<char *>(tokenEnv_.c_str()));
+    cenv.push_back(nullptr);
+
     const pid_t pid = ::fork();
     if (pid < 0)
         smt_fatal("cannot fork worker for shard %u", shard);
     if (pid == 0) {
-        ::execv(cargv[0], cargv.data());
+        ::execve(cargv[0], cargv.data(), cenv.data());
         // Reached only when exec failed; stdio may be shared with the
         // parent, so keep it to one write and a raw exit.
         std::fprintf(stderr, "smtsweep-dist: cannot exec %s\n", cargv[0]);
@@ -182,7 +203,8 @@ runDistributed(const sweep::NamedExperiment &experiment,
 
     const auto start = std::chrono::steady_clock::now();
 
-    std::unique_ptr<sweep::ResultStore> store = sweep::openStore(locator);
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openStore(locator, opts.ropts.storeToken);
 
     // Plan and record the expected work before any worker starts, so
     // the store can be audited from the first heartbeat on. Observed
@@ -197,6 +219,8 @@ runDistributed(const sweep::NamedExperiment &experiment,
 
     std::unique_ptr<WorkerLauncher> launcher =
         makeLauncher(opts.hostList, opts.sshProgram);
+    if (!opts.ropts.storeToken.empty())
+        launcher->setStoreToken(opts.ropts.storeToken);
     const bool captured_progress = launcher->capturesProgress();
 
     // File-based heartbeats need a local directory; a remote store has
@@ -236,10 +260,14 @@ runDistributed(const sweep::NamedExperiment &experiment,
             "--jobs", std::to_string(jobs),
             // Forward the measurement knobs explicitly so every worker
             // expands and plans the identical grid whatever its
-            // environment says.
+            // environment says. (The store token is deliberately NOT
+            // here — argv shows up in ps; the launcher delivers it
+            // out of band and workers read SMTSTORE_TOKEN.)
             "--cycles", std::to_string(opts.ropts.measure.cyclesPerRun),
             "--warmup", std::to_string(opts.ropts.measure.warmupCycles),
             "--runs", std::to_string(opts.ropts.measure.runs),
+            "--marker-ttl",
+            std::to_string(opts.ropts.markerTtlSeconds),
         };
         if (captured_progress)
             argv.push_back("--progress-stdout");
@@ -543,14 +571,15 @@ distArtifact(const std::string &experiment, const DistOutcome &outcome)
 }
 
 sweep::Json
-auditArtifact(const std::string &store_locator, bool &ok)
+auditArtifact(const std::string &store_locator,
+              const std::string &store_token, bool &ok)
 {
     ok = false;
     sweep::Json doc = sweep::Json::object();
     doc.set("schema", sweep::Json(sweep::kDigestSchema));
 
     std::unique_ptr<sweep::ResultStore> store =
-        sweep::openStore(store_locator);
+        sweep::openStore(store_locator, store_token);
     doc.set("store", sweep::Json(store->description()));
     const std::optional<sweep::Json> manifest = store->readManifest();
     if (!manifest.has_value()
@@ -609,11 +638,13 @@ auditArtifact(const std::string &store_locator, bool &ok)
 }
 
 int
-auditStore(const std::string &store_locator, bool verbose,
+auditStore(const std::string &store_locator,
+           const std::string &store_token, bool verbose,
            const std::string &json_path)
 {
     bool ok = false;
-    const sweep::Json doc = auditArtifact(store_locator, ok);
+    const sweep::Json doc =
+        auditArtifact(store_locator, store_token, ok);
     if (!ok) {
         std::fprintf(stderr,
                      "no sweep manifest in %s (has a coordinator run "

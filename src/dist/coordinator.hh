@@ -51,6 +51,17 @@ class WorkerLauncher
     virtual long launch(unsigned shard,
                         const std::vector<std::string> &argv) = 0;
 
+    /**
+     * Hand every future worker the store bearer token — through the
+     * environment (local fork/exec) or the ssh stdin pipe (remote),
+     * NEVER through argv, so the token is invisible to `ps` on every
+     * host. Workers read it back from SMTSTORE_TOKEN.
+     */
+    virtual void setStoreToken(const std::string &token)
+    {
+        (void)token;
+    }
+
     /** Poll a worker; true once it has exited, filling `exit_code`
      *  (128+signal for a signalled death). */
     virtual bool poll(long handle, int &exit_code) = 0;
@@ -76,15 +87,20 @@ class WorkerLauncher
     }
 };
 
-/** fork/exec workers on this host. */
+/** fork/exec workers on this host (the token, if any, rides an
+ *  SMTSTORE_TOKEN entry appended to the exec environment). */
 class LocalProcessLauncher final : public WorkerLauncher
 {
   public:
     long launch(unsigned shard,
                 const std::vector<std::string> &argv) override;
+    void setStoreToken(const std::string &token) override;
     bool poll(long handle, int &exit_code) override;
     void wait(long handle, int &exit_code) override;
     void terminate(long handle) override;
+
+  private:
+    std::string tokenEnv_; ///< "SMTSTORE_TOKEN=<token>" or empty.
 };
 
 /**
@@ -176,17 +192,19 @@ sweep::Json distArtifact(const std::string &experiment,
 /**
  * Audit a store against its manifest: per-digest done / in-progress /
  * orphaned / pending classification (the coordinator's view of a
- * sweep it did not run itself). Prints the human table to stdout;
+ * sweep it did not run itself). `store_token` authenticates against a
+ * token-protected remote store. Prints the human table to stdout;
  * per-digest lines when `verbose`. `json_path` additionally emits the
  * audit as JSON — "-" for stdout (replacing the table), else a file
  * path. Returns an exit code.
  */
-int auditStore(const std::string &store_locator, bool verbose,
+int auditStore(const std::string &store_locator,
+               const std::string &store_token, bool verbose,
                const std::string &json_path = "");
 
 /** The audit document auditStore() emits (exposed for tests). */
 sweep::Json auditArtifact(const std::string &store_locator,
-                          bool &ok);
+                          const std::string &store_token, bool &ok);
 
 } // namespace smt::dist
 

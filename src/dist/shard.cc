@@ -169,7 +169,7 @@ runShard(const sweep::ExperimentSpec &spec,
 
     const auto start = std::chrono::steady_clock::now();
     std::unique_ptr<sweep::ResultStore> store =
-        sweep::openStore(ropts.cacheDir);
+        sweep::openStore(ropts.cacheDir, ropts.storeToken);
 
     // Assignment: the coordinator's manifest when it matches this grid
     // (so every process of one sweep agrees by construction), else a

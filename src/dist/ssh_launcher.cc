@@ -32,9 +32,16 @@ shellQuoteArg(const std::string &arg)
 
 std::vector<std::string>
 sshArgv(const std::string &ssh_program, const std::string &host,
-        const std::vector<std::string> &argv)
+        const std::vector<std::string> &argv, bool token_on_stdin)
 {
-    std::string command = "exec";
+    // The token never rides argv: the remote shell reads it off the
+    // ssh channel's stdin into the environment first. IFS= and -r
+    // keep the line byte-exact.
+    std::string command;
+    if (token_on_stdin)
+        command += "IFS= read -r SMTSTORE_TOKEN; "
+                   "export SMTSTORE_TOKEN; ";
+    command += "exec";
     for (const std::string &arg : argv) {
         command += ' ';
         command += shellQuoteArg(arg);
@@ -69,13 +76,20 @@ SshWorkerLauncher::SshWorkerLauncher(std::vector<std::string> hosts,
     smt_assert(!hosts_.empty(), "SshWorkerLauncher needs hosts");
 }
 
+void
+SshWorkerLauncher::setStoreToken(const std::string &token)
+{
+    storeToken_ = token;
+}
+
 long
 SshWorkerLauncher::launch(unsigned shard,
                           const std::vector<std::string> &argv)
 {
     const std::string &host = hosts_[shard % hosts_.size()];
+    const bool token_on_stdin = !storeToken_.empty();
     const std::vector<std::string> full =
-        sshArgv(sshProgram_, host, argv);
+        sshArgv(sshProgram_, host, argv, token_on_stdin);
 
     std::vector<char *> cargv;
     cargv.reserve(full.size() + 1);
@@ -86,6 +100,9 @@ SshWorkerLauncher::launch(unsigned shard,
     int pipe_fds[2];
     if (::pipe(pipe_fds) != 0)
         smt_fatal("cannot create the capture pipe for shard %u", shard);
+    int stdin_fds[2] = {-1, -1};
+    if (token_on_stdin && ::pipe(stdin_fds) != 0)
+        smt_fatal("cannot create the token pipe for shard %u", shard);
 
     const pid_t pid = ::fork();
     if (pid < 0)
@@ -95,12 +112,46 @@ SshWorkerLauncher::launch(unsigned shard,
         ::dup2(pipe_fds[1], STDOUT_FILENO);
         ::dup2(pipe_fds[1], STDERR_FILENO);
         ::close(pipe_fds[1]);
+        if (token_on_stdin) {
+            ::close(stdin_fds[1]);
+            ::dup2(stdin_fds[0], STDIN_FILENO);
+            ::close(stdin_fds[0]);
+        }
         ::execvp(cargv[0], cargv.data());
         std::fprintf(stderr, "smtsweep-dist: cannot exec %s\n", cargv[0]);
         ::_exit(127);
     }
     ::close(pipe_fds[1]);
     ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+    if (token_on_stdin) {
+        // One line, written before the worker could possibly block on
+        // output (a pipe holds far more than a token), then EOF. An
+        // ssh child that died before reading must surface as a failed
+        // write, not a SIGPIPE kill — ignore the signal only for the
+        // duration of this write.
+        struct sigaction ignore = {};
+        struct sigaction saved = {};
+        ignore.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ignore, &saved);
+        ::close(stdin_fds[0]);
+        const std::string line = storeToken_ + "\n";
+        std::size_t off = 0;
+        while (off < line.size()) {
+            const ssize_t n = ::write(stdin_fds[1], line.data() + off,
+                                      line.size() - off);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                smt_warn("shard %u: cannot deliver the store token "
+                         "over ssh stdin",
+                         shard);
+                break;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        ::close(stdin_fds[1]);
+        ::sigaction(SIGPIPE, &saved, nullptr);
+    }
 
     Capture cap;
     cap.shard = shard;

@@ -35,11 +35,18 @@ namespace smt::dist
 /** Quote one argument for the remote POSIX shell ssh invokes. */
 std::string shellQuoteArg(const std::string &arg);
 
-/** The local argv for one remote worker launch: ssh_program, options,
- *  the host, and the quoted remote command. */
+/**
+ * The local argv for one remote worker launch: ssh_program, options,
+ * the host, and the quoted remote command. With `token_on_stdin` the
+ * remote command first reads one line from its stdin into
+ * SMTSTORE_TOKEN before exec'ing the worker — the launcher pipes the
+ * store token through ssh's encrypted channel, so it never appears in
+ * argv (ps) on either host.
+ */
 std::vector<std::string> sshArgv(const std::string &ssh_program,
                                  const std::string &host,
-                                 const std::vector<std::string> &argv);
+                                 const std::vector<std::string> &argv,
+                                 bool token_on_stdin = false);
 
 /** Parse "hostA,hostB,user@hostC" (empty names skipped). */
 std::vector<std::string> parseHostList(const std::string &host_list);
@@ -52,6 +59,7 @@ class SshWorkerLauncher final : public WorkerLauncher
 
     long launch(unsigned shard,
                 const std::vector<std::string> &argv) override;
+    void setStoreToken(const std::string &token) override;
     bool poll(long handle, int &exit_code) override;
     void wait(long handle, int &exit_code) override;
     void terminate(long handle) override;
@@ -80,6 +88,7 @@ class SshWorkerLauncher final : public WorkerLauncher
 
     std::vector<std::string> hosts_;
     std::string sshProgram_;
+    std::string storeToken_; ///< piped to each worker's stdin.
     std::map<long, Capture> captures_; ///< keyed by child pid.
 };
 

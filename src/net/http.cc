@@ -203,6 +203,8 @@ reasonPhrase(int status)
         return "No Content";
     case 400:
         return "Bad Request";
+    case 401:
+        return "Unauthorized";
     case 404:
         return "Not Found";
     case 405:
@@ -213,6 +215,8 @@ reasonPhrase(int status)
         return "Length Required";
     case 413:
         return "Payload Too Large";
+    case 415:
+        return "Unsupported Media Type";
     case 500:
         return "Internal Server Error";
     default:

@@ -69,6 +69,12 @@ struct HttpResponse
     bool ok() const { return status >= 200 && status < 300; }
 };
 
+/** The largest message body either side accepts, declared or
+ *  chunked. The store layer's decompression caps reuse this, so a
+ *  body cannot be acceptable to one layer and oversized for
+ *  another. */
+inline constexpr std::size_t kMaxBodyBytes = 256 * 1024 * 1024;
+
 /** The standard reason phrase for a status code ("OK", "Not Found"). */
 const char *reasonPhrase(int status);
 
@@ -87,13 +93,13 @@ std::string serialize(const HttpResponse &resp);
  * larger than `max_body` bytes are rejected as malformed.
  */
 bool readRequest(BufferedReader &in, HttpRequest &out,
-                 std::size_t max_body = 256 * 1024 * 1024);
+                 std::size_t max_body = kMaxBodyBytes);
 
 /** `head_request` marks the response to a HEAD: framing headers
  *  describe the entity, but no body bytes follow. */
 bool readResponse(BufferedReader &in, HttpResponse &out,
                   bool head_request = false,
-                  std::size_t max_body = 256 * 1024 * 1024);
+                  std::size_t max_body = kMaxBodyBytes);
 
 } // namespace smt::net
 

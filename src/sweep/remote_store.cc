@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/lz.hh"
 #include "sweep/digest.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/serialize.hh"
@@ -31,8 +32,9 @@ isRemoteStoreLocator(const std::string &locator)
     return net::isHttpUrl(locator);
 }
 
-RemoteResultStore::RemoteResultStore(const net::Url &url)
-    : url_(url), client_(url.host, url.port)
+RemoteResultStore::RemoteResultStore(const net::Url &url,
+                                     std::string token)
+    : url_(url), token_(std::move(token)), client_(url.host, url.port)
 {
 }
 
@@ -47,7 +49,9 @@ std::optional<net::HttpResponse>
 RemoteResultStore::exchange(const std::string &method,
                             const std::string &resource,
                             const std::string &body,
-                            const std::string &content_digest) const
+                            const std::string &content_digest,
+                            const std::string &content_encoding,
+                            bool accept_lz) const
 {
     net::HttpRequest req;
     req.method = method;
@@ -57,29 +61,78 @@ RemoteResultStore::exchange(const std::string &method,
         req.headers.set("Content-Type", "application/json");
     if (!content_digest.empty())
         req.headers.set("X-Content-Digest", content_digest);
+    if (!content_encoding.empty())
+        req.headers.set("Content-Encoding", content_encoding);
+    if (accept_lz)
+        req.headers.set("Accept-Encoding", kLzEncodingName);
+    if (!token_.empty())
+        req.headers.set("Authorization", "Bearer " + token_);
 
     std::lock_guard<std::mutex> lock(mu_);
     return client_.request(req);
+}
+
+bool
+RemoteResultStore::serverSupportsLz() const
+{
+    int known = lzSupport_.load(std::memory_order_relaxed);
+    if (known >= 0)
+        return known == 1;
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/ping");
+    if (!resp.has_value() || !resp->ok())
+        return false; // unreachable: stay unknown, probe again later.
+    bool lz = false;
+    Json doc;
+    if (Json::parse(resp->body, doc)
+        && doc.type() == Json::Type::Object && doc.has("encodings")) {
+        const Json &encodings = doc.at("encodings");
+        for (std::size_t i = 0; i < encodings.size(); ++i) {
+            if (encodings[i].type() == Json::Type::String
+                && encodings[i].asString() == kLzEncodingName)
+                lz = true;
+        }
+    }
+    lzSupport_.store(lz ? 1 : 0, std::memory_order_relaxed);
+    return lz;
 }
 
 std::optional<SimStats>
 RemoteResultStore::lookup(const std::string &digest) const
 {
     const std::optional<net::HttpResponse> resp =
-        exchange("GET", "/v1/entries/" + digest);
+        exchange("GET", "/v1/entries/" + digest, "", "", "",
+                 /*accept_lz=*/true);
     if (!resp.has_value() || !resp->ok())
         return std::nullopt;
 
-    // ETag check first: bytes corrupted in transit are a miss, exactly
+    // Decode first (a compressed body that does not decode is a miss,
+    // like any torn transfer), then verify the ETag against the
+    // *uncompressed* bytes — transit corruption stays a miss, exactly
     // like a corrupt local entry file.
+    std::string body;
+    const std::string encoding =
+        resp->headers.get("Content-Encoding");
+    if (encoding == kLzEncodingName) {
+        std::optional<std::string> decoded =
+            lzDecompress(resp->body, net::kMaxBodyBytes);
+        if (!decoded.has_value())
+            return std::nullopt;
+        body = std::move(*decoded);
+    } else if (encoding.empty() || encoding == "identity") {
+        body = resp->body;
+    } else {
+        return std::nullopt; // an encoding we never asked for.
+    }
     const std::string etag = unquoteEtag(resp->headers.get("ETag"));
-    if (!etag.empty() && etag != contentDigest(resp->body))
+    if (!etag.empty() && etag != contentDigest(body))
         return std::nullopt;
 
     Json entry;
-    if (!Json::parse(resp->body, entry)
+    if (!Json::parse(body, entry)
         || entry.type() != Json::Type::Object || !entry.has("digest")
         || !entry.has("stats")
+        || entry.at("digest").type() != Json::Type::String
         || entry.at("digest").asString() != digest)
         return std::nullopt;
     SimStats stats;
@@ -95,12 +148,28 @@ RemoteResultStore::store(const std::string &digest, const SmtConfig &cfg,
 {
     // The exact bytes LocalDirStore would put on disk, so a store
     // directory serves identically whichever side wrote each entry.
+    // X-Content-Digest always covers these uncompressed bytes; the
+    // codec only dresses them for transit.
     const std::string text =
         makeEntryJson(digest, cfg, opts, stats, measure_seconds).dump(2)
         + "\n";
-    const std::optional<net::HttpResponse> resp =
-        exchange("PUT", "/v1/entries/" + digest, text,
-                 contentDigest(text));
+    std::optional<net::HttpResponse> resp;
+    bool compressed = false;
+    if (serverSupportsLz()) {
+        std::string packed = lzCompress(text);
+        if (packed.size() < text.size()) {
+            compressed = true;
+            resp = exchange("PUT", "/v1/entries/" + digest, packed,
+                            contentDigest(text), kLzEncodingName);
+        }
+    }
+    // Identity path: small entries, old servers, or (belt and braces)
+    // a server that advertised the codec but rejected the encoding.
+    if (!compressed
+        || (resp.has_value()
+            && (resp->status == 415 || resp->status == 400)))
+        resp = exchange("PUT", "/v1/entries/" + digest, text,
+                        contentDigest(text));
     if (!resp.has_value() || !resp->ok())
         smt_warn("remote store %s rejected entry %s (%s); the result "
                  "is lost from the cache",
@@ -146,10 +215,40 @@ RemoteResultStore::observedCosts() const
 }
 
 void
-RemoteResultStore::markInProgress(const std::string &digest)
+RemoteResultStore::markInProgress(const std::string &digest,
+                                  double ttl_seconds)
 {
     exchange("PUT", "/v1/markers/" + digest,
-             makeSelfMarker().dump(2) + "\n");
+             makeSelfMarker(ttl_seconds).dump(2) + "\n");
+}
+
+void
+RemoteResultStore::refreshMarkers(
+    const std::vector<std::string> &digests, double ttl_seconds)
+{
+    if (digests.empty())
+        return;
+    if (bulkMarkers_.load(std::memory_order_relaxed)) {
+        Json doc = Json::object();
+        doc.set("marker", makeSelfMarker(ttl_seconds));
+        Json list = Json::array();
+        for (const std::string &digest : digests)
+            list.push(Json(digest));
+        doc.set("digests", std::move(list));
+        const std::optional<net::HttpResponse> resp =
+            exchange("POST", "/v1/markers", doc.dump() + "\n");
+        if (resp.has_value() && resp->ok())
+            return;
+        // An old server has no bulk route (404/405): remember and
+        // fall back. Transport failures stay on the bulk path — the
+        // next beat retries it.
+        if (!resp.has_value()
+            || (resp->status != 404 && resp->status != 405))
+            return;
+        bulkMarkers_.store(false, std::memory_order_relaxed);
+    }
+    for (const std::string &digest : digests)
+        markInProgress(digest, ttl_seconds);
 }
 
 void
@@ -194,7 +293,8 @@ RemoteResultStore::state(const std::string &digest) const
     if (resp.has_value() && resp->ok()) {
         Json doc;
         if (Json::parse(resp->body, doc)
-            && doc.type() == Json::Type::Object && doc.has("state")) {
+            && doc.type() == Json::Type::Object && doc.has("state")
+            && doc.at("state").type() == Json::Type::String) {
             const std::string &text = doc.at("state").asString();
             if (text == "done")
                 return WorkState::Done;
@@ -221,8 +321,10 @@ RemoteResultStore::storedDigests() const
         || doc.type() != Json::Type::Object || !doc.has("digests"))
         return digests;
     const Json &list = doc.at("digests");
-    for (std::size_t i = 0; i < list.size(); ++i)
-        digests.push_back(list[i].asString());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i].type() == Json::Type::String)
+            digests.push_back(list[i].asString());
+    }
     return digests;
 }
 
@@ -283,7 +385,7 @@ RemoteResultStore::ping(std::string *error) const
 }
 
 std::unique_ptr<ResultStore>
-openRemoteStore(const std::string &locator)
+openRemoteStore(const std::string &locator, const std::string &token)
 {
     net::Url url;
     if (!net::parseUrl(locator, url))
@@ -298,7 +400,7 @@ openRemoteStore(const std::string &locator)
                   "smtstore serves at the root — use http://%s:%u",
                   locator.c_str(), url.path.c_str(), url.host.c_str(),
                   static_cast<unsigned>(url.port));
-    return std::make_unique<RemoteResultStore>(url);
+    return std::make_unique<RemoteResultStore>(url, token);
 }
 
 } // namespace smt::sweep

@@ -4,7 +4,10 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -49,15 +52,100 @@ pidIsDead(long pid)
     return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
 }
 
+/** Wall-clock seconds since the Unix epoch — marker deadlines compare
+ *  *across hosts*, so this must be the system clock, not steady. */
+double
+epochSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace
 
+double
+markerSkewSlackSeconds()
+{
+    if (const char *env = std::getenv("SMTSWEEP_MARKER_SLACK");
+        env != nullptr) {
+        char *end = nullptr;
+        const double slack = std::strtod(env, &end);
+        if (end != env && slack >= 0.0)
+            return slack;
+    }
+    return 10.0;
+}
+
 Json
-makeSelfMarker()
+makeSelfMarker(double ttl_seconds)
 {
     Json marker = Json::object();
     marker.set("pid", Json(static_cast<std::uint64_t>(::getpid())));
     marker.set("host", Json(thisHost()));
+    marker.set("deadline", Json(epochSeconds() + ttl_seconds));
     return marker;
+}
+
+bool
+sameMarkerOwner(const std::string &marker_text, const Json &marker)
+{
+    // Markers cross the wire from peers we do not control: nothing
+    // here may be fatal on a type-confused field (asUInt/asString
+    // abort), only false.
+    Json current;
+    if (!Json::parse(marker_text, current)
+        || current.type() != Json::Type::Object || !current.has("pid")
+        || !current.has("host") || marker.type() != Json::Type::Object
+        || !marker.has("pid") || !marker.has("host"))
+        return false;
+    const Json &a_host = current.at("host");
+    const Json &b_host = marker.at("host");
+    return current.at("pid").isNumber() && marker.at("pid").isNumber()
+           && current.at("pid").asDouble()
+                  == marker.at("pid").asDouble()
+           && a_host.type() == Json::Type::String
+           && b_host.type() == Json::Type::String
+           && a_host.asString() == b_host.asString();
+}
+
+WorkState
+classifyMarkerText(const std::string &marker_text,
+                   const std::string &local_host)
+{
+    if (marker_text.empty())
+        return WorkState::Pending;
+    // A marker that exists but is malformed is a writer that crashed
+    // mid-write: orphaned, not pending. Field reads must stay
+    // non-fatal whatever a peer wrote (asUInt aborts on a negative
+    // pid, asString on a non-string host), so go through asDouble and
+    // explicit type checks.
+    Json marker;
+    if (!Json::parse(marker_text, marker)
+        || marker.type() != Json::Type::Object || !marker.has("pid")
+        || !marker.at("pid").isNumber())
+        return WorkState::Orphaned;
+
+    const double pid = marker.at("pid").asDouble();
+    if (pid <= 0)
+        return WorkState::Orphaned; // a declared orphan (any host).
+
+    // The TTL lease: an expired deadline (past the clock-skew slack)
+    // is a dead worker, whatever host wrote the marker — the one
+    // death signal that needs no coordinator and no pid probe.
+    if (marker.has("deadline") && marker.at("deadline").isNumber()
+        && epochSeconds() > marker.at("deadline").asDouble()
+                                + markerSkewSlackSeconds())
+        return WorkState::Orphaned;
+
+    const std::string host =
+        marker.has("host")
+                && marker.at("host").type() == Json::Type::String
+            ? marker.at("host").asString()
+            : "unknown";
+    if (host == local_host && pidIsDead(static_cast<long>(pid)))
+        return WorkState::Orphaned;
+    return WorkState::InProgress;
 }
 
 const char *
@@ -130,9 +218,10 @@ LocalDirStore::writeMarker(const std::string &digest, const Json &marker)
 }
 
 void
-LocalDirStore::markInProgress(const std::string &digest)
+LocalDirStore::markInProgress(const std::string &digest,
+                              double ttl_seconds)
 {
-    writeMarker(digest, makeSelfMarker());
+    writeMarker(digest, makeSelfMarker(ttl_seconds));
 }
 
 void
@@ -182,9 +271,11 @@ LocalDirStore::tryAdopt(const std::string &digest,
         const std::string current = readMarkerText(digest);
         // A marker already carrying this process's claim means an
         // earlier attempt won (matching the wire protocol's retry
-        // semantics); the normal CAS applies otherwise.
+        // semantics). Ownership is compared by {pid, host}, not exact
+        // bytes — deadlines refresh, bytes don't stay put. The normal
+        // CAS applies otherwise.
         const Json mine = makeSelfMarker();
-        if (current == mine.dump(2) + "\n")
+        if (sameMarkerOwner(current, mine))
             won = true;
         else if (current == expected_marker) {
             writeMarker(digest, mine);
@@ -201,26 +292,15 @@ LocalDirStore::state(const std::string &digest) const
 {
     if (cache_.lookup(digest).has_value())
         return WorkState::Done;
-
-    const std::string marker_path = markerPath(digest);
-    std::error_code ec;
-    if (!fs::exists(marker_path, ec))
-        return WorkState::Pending;
-    // A marker that exists but is malformed is a writer that crashed
-    // mid-write: orphaned, not pending.
-    const std::optional<Json> marker = readJsonFile(marker_path);
-    if (!marker.has_value() || marker->type() != Json::Type::Object
-        || !marker->has("pid"))
-        return WorkState::Orphaned;
-
-    const long pid = static_cast<long>(marker->at("pid").asUInt());
-    if (pid <= 0)
-        return WorkState::Orphaned; // a declared orphan (any host).
-    const std::string host =
-        marker->has("host") ? marker->at("host").asString() : "unknown";
-    if (host == thisHost() && pidIsDead(pid))
-        return WorkState::Orphaned;
-    return WorkState::InProgress;
+    // An existing-but-empty marker file is a torn write, which
+    // classify() would read as Pending; check existence explicitly.
+    const std::string marker_text = readMarkerText(digest);
+    if (marker_text.empty()) {
+        std::error_code ec;
+        return fs::exists(markerPath(digest), ec) ? WorkState::Orphaned
+                                                  : WorkState::Pending;
+    }
+    return classifyMarkerText(marker_text, thisHost());
 }
 
 std::vector<std::string>
@@ -247,6 +327,97 @@ LocalDirStore::description() const
     return "dir:" + cache_.dir();
 }
 
+MarkerHeartbeat::MarkerHeartbeat(ResultStore &store, double ttl_seconds)
+    : store_(store), ttl_(ttl_seconds),
+      thread_([this] { loop(); })
+{
+}
+
+MarkerHeartbeat::~MarkerHeartbeat()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+MarkerHeartbeat::add(const std::string &digest)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.insert(digest);
+}
+
+void
+MarkerHeartbeat::remove(const std::string &digest)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.erase(digest);
+}
+
+void
+MarkerHeartbeat::loop()
+{
+    // Refresh three times per lease so one delayed beat (scheduling,
+    // a slow store round trip) still lands inside the TTL + slack.
+    const auto cadence = std::chrono::duration<double>(
+        std::max(0.05, ttl_ / 3.0));
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+        if (cv_.wait_for(lock, cadence, [this] { return stop_; }))
+            return;
+        if (live_.empty())
+            continue;
+        // Refresh while *holding* the lock: remove() cannot return
+        // with a beat for its digest still in flight, so the caller's
+        // remove-then-store sequence can never have its freshly
+        // cleared marker resurrected by a posthumous refresh.
+        const std::vector<std::string> live(live_.begin(),
+                                            live_.end());
+        store_.refreshMarkers(live, ttl_);
+    }
+}
+
+std::string
+resolveStoreToken(const std::string &token,
+                  const std::string &token_file)
+{
+    auto trimmed = [](std::string text) {
+        const char *ws = " \t\r\n";
+        const std::size_t first = text.find_first_not_of(ws);
+        if (first == std::string::npos)
+            return std::string();
+        const std::size_t last = text.find_last_not_of(ws);
+        return text.substr(first, last - first + 1);
+    };
+    if (!token.empty())
+        return token;
+    if (!token_file.empty()) {
+        const std::optional<std::string> bytes =
+            readFileBytes(token_file);
+        if (!bytes.has_value())
+            smt_fatal("cannot read the token file %s",
+                      token_file.c_str());
+        // The documented contract is "the file's first line": later
+        // lines (comments, a trailing key ceremony) must not leak
+        // into the token — an embedded newline would corrupt the
+        // Authorization header and disagree with what an ssh worker's
+        // one-line read received.
+        const std::string first_line =
+            bytes->substr(0, bytes->find('\n'));
+        const std::string file_token = trimmed(first_line);
+        if (file_token.empty())
+            smt_fatal("token file %s is empty", token_file.c_str());
+        return file_token;
+    }
+    if (const char *env = std::getenv("SMTSTORE_TOKEN");
+        env != nullptr)
+        return trimmed(env);
+    return "";
+}
+
 std::unique_ptr<ResultStore>
 openLocalStore(const std::string &dir)
 {
@@ -254,10 +425,10 @@ openLocalStore(const std::string &dir)
 }
 
 std::unique_ptr<ResultStore>
-openStore(const std::string &locator)
+openStore(const std::string &locator, const std::string &token)
 {
     if (isRemoteStoreLocator(locator))
-        return openRemoteStore(locator);
+        return openRemoteStore(locator, token);
     return openLocalStore(locator);
 }
 

@@ -8,13 +8,16 @@
  * adds two pieces of coordinator-visible state:
  *
  *  - crash-safe in-progress markers: a worker about to measure digest
- *    D atomically writes D.inprogress ({pid, host}); finishing the
- *    measurement stores the entry and removes the marker. A marker
- *    whose pid is dead (same host) is an *orphan* — the worker
- *    crashed mid-measurement — so a coordinator can tell "someone is
- *    on it" from "this work was abandoned". Markers are advisory
- *    observability, not locks: duplicate writers of the same digest
- *    produce identical bytes by construction.
+ *    D atomically writes D.inprogress ({pid, host, deadline});
+ *    finishing the measurement stores the entry and removes the
+ *    marker. The deadline is a TTL lease the running worker keeps
+ *    refreshing (MarkerHeartbeat), so *any* observer on *any* host
+ *    detects a dead worker from the marker alone: an expired deadline
+ *    (past a clock-skew slack) is an *orphan*. A pid probe on the
+ *    marker's own host catches same-host deaths faster, and a
+ *    coordinator that watched the worker die can declare the orphan
+ *    immediately — but neither is required anymore. Markers are
+ *    advisory observability, not locks.
  *
  *  - a store-level manifest: the coordinator records the full expected
  *    digest set (with shard assignments) before launching workers, so
@@ -25,10 +28,14 @@
 #ifndef SMT_SWEEP_RESULT_STORE_HH
 #define SMT_SWEEP_RESULT_STORE_HH
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/config.hh"
@@ -51,10 +58,34 @@ enum class WorkState
 
 const char *toString(WorkState state);
 
-/** This process's advisory claim document ({pid, host}). Marker bytes
- *  are compared exactly by the claim CAS on both the local and the
- *  wire-protocol path, so every writer must build markers here. */
-Json makeSelfMarker();
+/** Default marker lease: a live worker refreshes well inside this
+ *  (every ttl/3); observers orphan the work once the lease has been
+ *  expired for longer than the clock-skew slack. */
+inline constexpr double kMarkerTtlSeconds = 60.0;
+
+/** Slack added to a marker deadline before expiry counts as death —
+ *  absorbs client/server clock skew and a late heartbeat. Default
+ *  10 s; the SMTSWEEP_MARKER_SLACK environment variable (seconds)
+ *  overrides it, which tests use to exercise expiry quickly. */
+double markerSkewSlackSeconds();
+
+/** This process's advisory claim document ({pid, host, deadline});
+ *  the deadline is now + ttl_seconds on the writer's clock. Every
+ *  writer must build markers here so the fields cannot drift. */
+Json makeSelfMarker(double ttl_seconds = kMarkerTtlSeconds);
+
+/** True when `marker_text` parses as a marker owned by the same
+ *  {pid, host} as `marker` — the claim CAS's idempotence test (a
+ *  refreshed deadline must not make a process's own claim look
+ *  foreign). */
+bool sameMarkerOwner(const std::string &marker_text, const Json &marker);
+
+/** Classify a raw marker document the way every store implementation
+ *  must: pid <= 0 or malformed => Orphaned (declared / torn write);
+ *  expired deadline (+ skew slack) => Orphaned on any host; dead pid
+ *  on `local_host` => Orphaned; else InProgress. */
+WorkState classifyMarkerText(const std::string &marker_text,
+                             const std::string &local_host);
 
 /** A digest-addressed store of measurement results shared by every
  *  worker of a distributed sweep. */
@@ -83,8 +114,28 @@ class ResultStore
      *  remote store, not one per digest). */
     virtual std::map<std::string, double> observedCosts() const = 0;
 
-    /** Advisory claim: record that this process is measuring `digest`. */
-    virtual void markInProgress(const std::string &digest) = 0;
+    /** Advisory claim: record that this process is measuring `digest`,
+     *  with a lease of `ttl_seconds`. Re-marking refreshes the lease —
+     *  the MarkerHeartbeat calls this on a cadence well inside the
+     *  TTL. (The default argument binds through the base class, so
+     *  every implementation honours it.) */
+    virtual void markInProgress(const std::string &digest,
+                                double ttl_seconds
+                                = kMarkerTtlSeconds) = 0;
+
+    /**
+     * Refresh many leases at once — what the MarkerHeartbeat calls
+     * every ttl/3. The default loops markInProgress(); the remote
+     * store overrides it with one bulk round trip so a large shard's
+     * heartbeat does not serialize O(grid) HTTP PUTs against the
+     * measurement path.
+     */
+    virtual void refreshMarkers(const std::vector<std::string> &digests,
+                                double ttl_seconds)
+    {
+        for (const std::string &digest : digests)
+            markInProgress(digest, ttl_seconds);
+    }
 
     /** Drop this digest's marker (normally done by store()). */
     virtual void clearInProgress(const std::string &digest) = 0;
@@ -147,7 +198,8 @@ class LocalDirStore final : public ResultStore
     std::optional<double>
     observedCost(const std::string &digest) const override;
     std::map<std::string, double> observedCosts() const override;
-    void markInProgress(const std::string &digest) override;
+    void markInProgress(const std::string &digest,
+                        double ttl_seconds) override;
     void clearInProgress(const std::string &digest) override;
     void markOrphaned(const std::string &digest) override;
     std::string readMarkerText(const std::string &digest) const override;
@@ -176,16 +228,64 @@ class LocalDirStore final : public ResultStore
     ResultCache cache_;
 };
 
+/**
+ * The marker-lease refresher a measuring worker runs: a background
+ * thread that re-marks every digest added (and not yet removed) as
+ * in-progress every ttl/3 seconds, so a live worker's markers never
+ * expire however long its measurements run — and a dead worker's
+ * markers expire on their own, visible to every peer. The store must
+ * outlive the heartbeat; its operations must be thread-safe (both
+ * implementations are).
+ */
+class MarkerHeartbeat
+{
+  public:
+    MarkerHeartbeat(ResultStore &store, double ttl_seconds);
+    ~MarkerHeartbeat();
+
+    MarkerHeartbeat(const MarkerHeartbeat &) = delete;
+    MarkerHeartbeat &operator=(const MarkerHeartbeat &) = delete;
+
+    /** Start refreshing `digest`'s marker (idempotent). */
+    void add(const std::string &digest);
+
+    /** Stop refreshing `digest` (its entry was stored, or the work
+     *  was handed off). */
+    void remove(const std::string &digest);
+
+  private:
+    void loop();
+
+    ResultStore &store_;
+    const double ttl_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::set<std::string> live_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+/**
+ * Resolve a store bearer token from the usual three sources, in
+ * precedence order: `token` verbatim when non-empty; the contents of
+ * `token_file` (whitespace-trimmed; fatal when named but unreadable);
+ * the SMTSTORE_TOKEN environment variable. "" means no auth.
+ */
+std::string resolveStoreToken(const std::string &token = "",
+                              const std::string &token_file = "");
+
 /** Open (creating if needed) the local store rooted at `dir`. */
 std::unique_ptr<ResultStore> openLocalStore(const std::string &dir);
 
 /**
  * Open the store a locator names: "http://host:port" connects a
- * RemoteResultStore to a running `smtstore` server; anything else is a
- * local directory path. Every sweep tool accepts either form wherever
- * it accepts a cache directory.
+ * RemoteResultStore to a running `smtstore` server (presenting
+ * `token` as its Authorization bearer when non-empty); anything else
+ * is a local directory path, where the token is ignored. Every sweep
+ * tool accepts either form wherever it accepts a cache directory.
  */
-std::unique_ptr<ResultStore> openStore(const std::string &locator);
+std::unique_ptr<ResultStore> openStore(const std::string &locator,
+                                       const std::string &token = "");
 
 } // namespace smt::sweep
 

@@ -62,8 +62,15 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         ThreadPool::requestGlobalWorkers(ropts.jobs);
 
     std::unique_ptr<ResultStore> store;
-    if (!ropts.cacheDir.empty())
-        store = openStore(ropts.cacheDir);
+    std::unique_ptr<MarkerHeartbeat> heartbeat;
+    if (!ropts.cacheDir.empty()) {
+        store = openStore(ropts.cacheDir, ropts.storeToken);
+        // Keep every in-progress marker's lease fresh for as long as
+        // this process lives — so a marker that *does* expire means
+        // the worker really died, on whatever host is watching.
+        heartbeat = std::make_unique<MarkerHeartbeat>(
+            *store, ropts.markerTtlSeconds);
+    }
 
     std::vector<PointResult> results(points.size());
     std::size_t done = 0, hits = 0;
@@ -123,10 +130,14 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
                 break;
             }
         }
-        // Advisory claim so a coordinator can tell in-progress (or,
-        // after a crash, orphaned) work from pending work.
-        if (store && p.duplicateOf == SIZE_MAX)
-            store->markInProgress(result.digest);
+        // Advisory claim so any peer can tell in-progress (or, after
+        // a crash, orphaned) work from pending work; the heartbeat
+        // keeps its lease fresh until the entry is stored.
+        if (store && p.duplicateOf == SIZE_MAX) {
+            store->markInProgress(result.digest,
+                                  ropts.markerTtlSeconds);
+            heartbeat->add(result.digest);
+        }
         if (p.duplicateOf == SIZE_MAX && ropts.measure.parallel) {
             p.runs.reserve(point.options.runs);
             p.runSeconds = std::make_shared<std::vector<double>>(
@@ -182,9 +193,11 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             for (double s : *p.runSeconds)
                 measure_seconds += s;
         }
-        if (store)
+        if (store) {
+            heartbeat->remove(result.digest);
             store->store(result.digest, point.config, point.options,
                          result.data.stats, measure_seconds);
+        }
         ++done;
         report_progress();
     }

@@ -37,8 +37,16 @@ struct RunnerOptions
      *  runs; `parallel` is always taken from here). */
     MeasureOptions measure;
 
-    /** Cache directory; empty disables caching. */
+    /** Cache directory or store URL; empty disables caching. */
     std::string cacheDir;
+
+    /** Bearer token presented to a token-protected remote store
+     *  (ignored for directory stores). */
+    std::string storeToken;
+
+    /** In-progress marker lease seconds; a heartbeat refreshes every
+     *  live marker at ttl/3 while this runner measures. */
+    double markerTtlSeconds = 60.0;
 
     /** Fail (exit 1) on any cache miss — CI's "second pass is all
      *  hits" assertion. */

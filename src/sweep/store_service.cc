@@ -1,6 +1,9 @@
 #include "sweep/store_service.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/lz.hh"
 #include "sweep/digest.hh"
 
 namespace smt::sweep
@@ -60,15 +63,54 @@ contentDigest(const std::string &body)
     return digestHex(body);
 }
 
-StoreService::StoreService(const std::string &dir, bool verbose)
-    : store_(dir), verbose_(verbose)
+bool
+tokenEquals(const std::string &a, const std::string &b)
 {
+    // Fold every byte of both strings into the verdict: no early
+    // exit, so the comparison's timing is independent of where (or
+    // whether) the inputs differ.
+    unsigned char diff = a.size() == b.size() ? 0 : 1;
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned char ca =
+            i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+        const unsigned char cb =
+            i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+        diff = static_cast<unsigned char>(diff | (ca ^ cb));
+    }
+    return diff == 0;
+}
+
+StoreService::StoreService(const std::string &dir, bool verbose,
+                           std::string token)
+    : store_(dir), verbose_(verbose), token_(std::move(token))
+{
+}
+
+bool
+StoreService::authorized(const net::HttpRequest &req) const
+{
+    if (token_.empty())
+        return true;
+    const std::string header = req.headers.get("Authorization");
+    const std::string scheme = "Bearer ";
+    if (header.rfind(scheme, 0) != 0)
+        return false;
+    return tokenEquals(header.substr(scheme.size()), token_);
 }
 
 net::HttpResponse
 StoreService::handle(const net::HttpRequest &req)
 {
-    net::HttpResponse resp = dispatch(req);
+    net::HttpResponse resp;
+    if (!authorized(req)) {
+        // Rejected before dispatch: an unauthenticated peer can not
+        // probe which resources exist, let alone touch them.
+        resp = plain(401, "authorization required\n");
+        resp.headers.set("WWW-Authenticate", "Bearer");
+    } else {
+        resp = dispatch(req);
+    }
     if (verbose_)
         smt_inform("smtstore: %s %s -> %d", req.method.c_str(),
                    req.target.c_str(), resp.status);
@@ -88,6 +130,14 @@ StoreService::dispatch(const net::HttpRequest &req)
         doc.set("service", Json("smtstore"));
         doc.set("schema", Json(kDigestSchema));
         doc.set("dir", Json(store_.dir()));
+        // Capability advertisement: clients compress entry PUTs only
+        // for servers that list the codec here (old clients ignore
+        // the fields; old servers never emit them).
+        Json encodings = Json::array();
+        encodings.push(Json("identity"));
+        encodings.push(Json(kLzEncodingName));
+        doc.set("encodings", std::move(encodings));
+        doc.set("auth", Json(token_.empty() ? "none" : "bearer"));
         return jsonResponse(200, doc);
     }
 
@@ -135,6 +185,41 @@ StoreService::dispatch(const net::HttpRequest &req)
         return resp;
     }
 
+    // Bulk marker refresh: one request re-leases every digest a
+    // worker is responsible for, so heartbeats cost one round trip
+    // instead of one per digest.
+    if (kind == "markers" && path.size() == 1) {
+        if (req.method != "POST")
+            return plain(405);
+        Json doc;
+        if (!Json::parse(req.body, doc)
+            || doc.type() != Json::Type::Object || !doc.has("marker")
+            || doc.at("marker").type() != Json::Type::Object
+            || !doc.has("digests")
+            || doc.at("digests").type() != Json::Type::Array)
+            return plain(400, "refresh body needs marker + digests\n");
+        const Json &digests = doc.at("digests");
+        for (std::size_t i = 0; i < digests.size(); ++i) {
+            if (digests[i].type() != Json::Type::String
+                || !looksLikeDigest(digests[i].asString()))
+                return plain(400, "malformed digest in refresh\n");
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        std::uint64_t refreshed = 0;
+        for (std::size_t i = 0; i < digests.size(); ++i) {
+            const std::string &digest = digests[i].asString();
+            // Done work keeps no lease: a refresh racing the entry
+            // commit must not resurrect its marker.
+            if (store_.cache().readEntryText(digest).has_value())
+                continue;
+            store_.writeMarker(digest, doc.at("marker"));
+            ++refreshed;
+        }
+        Json out = Json::object();
+        out.set("refreshed", Json(refreshed));
+        return jsonResponse(200, out);
+    }
+
     // Everything below addresses one digest.
     if (path.size() < 2 || !looksLikeDigest(path[1]))
         return plain(404, "malformed digest in request path\n");
@@ -149,34 +234,68 @@ StoreService::dispatch(const net::HttpRequest &req)
             net::HttpResponse resp;
             resp.status = 200;
             resp.headers.set("Content-Type", "application/json");
+            // The ETag digests the stored (uncompressed) bytes
+            // whatever dressing the transfer wears.
             resp.headers.set("ETag",
                              "\"" + contentDigest(*text) + "\"");
-            if (req.method == "GET")
+            if (req.method == "GET") {
                 resp.body = *text;
-            else
+                const std::string accept =
+                    req.headers.get("Accept-Encoding");
+                if (accept.find(kLzEncodingName)
+                    != std::string::npos) {
+                    std::string packed = lzCompress(*text);
+                    if (packed.size() < text->size()) {
+                        resp.body = std::move(packed);
+                        resp.headers.set("Content-Encoding",
+                                         kLzEncodingName);
+                    }
+                }
+            } else {
                 // The serializer owns Content-Length (a HEAD response
                 // has no body), so advertise the entry size here.
                 resp.headers.set("X-Entry-Size",
                                  std::to_string(text->size()));
+            }
             return resp;
         }
         if (req.method == "PUT") {
+            // Undress the transfer first: digests and entry checks
+            // always apply to the true bytes, so compression cannot
+            // weaken the bit-identical-merge invariant.
+            std::string body;
+            const std::string encoding =
+                req.headers.get("Content-Encoding");
+            if (encoding == kLzEncodingName) {
+                std::optional<std::string> decoded =
+                    lzDecompress(req.body, net::kMaxBodyBytes);
+                if (!decoded.has_value())
+                    return plain(400, "compressed body does not "
+                                      "decode\n");
+                body = std::move(*decoded);
+            } else if (encoding.empty() || encoding == "identity") {
+                body = req.body;
+            } else {
+                return plain(415, "unsupported Content-Encoding \""
+                                      + encoding + "\"\n");
+            }
             const std::string claimed =
                 req.headers.get("X-Content-Digest");
             if (claimed.empty())
                 return plain(400, "X-Content-Digest is required\n");
-            if (claimed != contentDigest(req.body))
+            if (claimed != contentDigest(body))
                 return plain(400, "body does not match its declared "
                                   "content digest\n");
             Json entry;
-            if (!Json::parse(req.body, entry)
+            if (!Json::parse(body, entry)
                 || entry.type() != Json::Type::Object
                 || !entry.has("digest") || !entry.has("stats")
+                || entry.at("digest").type() != Json::Type::String
                 || entry.at("digest").asString() != digest)
                 return plain(400, "body is not an entry for this "
                                   "digest\n");
             std::lock_guard<std::mutex> lock(mu_);
-            if (!store_.cache().writeEntryText(digest, req.body))
+            if (!store_.cache().writeEntryText(digest, body))
                 return plain(500, "cannot persist entry\n");
             store_.clearInProgress(digest);
             return plain(204);
@@ -245,22 +364,24 @@ StoreService::dispatch(const net::HttpRequest &req)
         Json claim;
         if (!Json::parse(req.body, claim)
             || claim.type() != Json::Type::Object
-            || !claim.has("expect") || !claim.has("marker"))
+            || !claim.has("expect")
+            || claim.at("expect").type() != Json::Type::String
+            || !claim.has("marker")
+            || claim.at("marker").type() != Json::Type::Object)
             return plain(400, "claim body needs expect + marker\n");
 
         // The CAS: under the service mutex, the claim wins only while
         // the entry is absent and the marker bytes still read exactly
-        // as the claimant observed them. A marker that already equals
-        // what this claim would write means the claimant won earlier
-        // and its response was torn — the client's transparent retry
+        // as the claimant observed them. A marker already *owned* by
+        // the claimant (same {pid, host} — deadlines refresh, so
+        // exact bytes would be too strict) means it won earlier and
+        // its response was torn — the client's transparent retry
         // must see success, not a spurious conflict.
         std::lock_guard<std::mutex> lock(mu_);
         if (store_.cache().readEntryText(digest).has_value())
             return plain(409, "already done\n");
         const std::string current = store_.readMarkerText(digest);
-        const std::string claimed_bytes =
-            claim.at("marker").dump(2) + "\n";
-        if (current == claimed_bytes)
+        if (sameMarkerOwner(current, claim.at("marker")))
             return plain(200, "already claimed\n");
         if (current != claim.at("expect").asString())
             return plain(409, "marker moved\n");

@@ -5,9 +5,12 @@
  * StoreService maps HTTP requests onto a LocalDirStore so remote
  * workers can share one store over the network (`tools/smtstore` is
  * the thin binary around it; tests mount the service on an in-process
- * HttpServer). All resources live under <base>/v1:
+ * HttpServer). The full normative spec is docs/PROTOCOL.md; the
+ * resources, all under <base>/v1:
  *
- *   GET    /v1/ping                     liveness + schema
+ *   GET    /v1/ping                     liveness + schema + the
+ *                                       server's encodings and auth
+ *                                       mode
  *   GET    /v1/entries                  {"digests": [...]} (chunked)
  *   HEAD   /v1/entries/<digest>         entry exists? (X-Entry-Size
  *                                       advertises its byte count)
@@ -27,6 +30,11 @@
  *   GET    /v1/costs/<digest>           {"seconds": s} observed cost
  *   GET    /v1/markers/<digest>         raw marker bytes
  *   PUT    /v1/markers/<digest>         write the client's marker
+ *   POST   /v1/markers                  bulk lease refresh: {"marker",
+ *                                       "digests": [...]} writes the
+ *                                       marker on every digest not
+ *                                       yet done (one round trip per
+ *                                       heartbeat, not per digest)
  *   DELETE /v1/markers/<digest>         drop the marker
  *   POST   /v1/markers/<digest>/orphan  declare the work abandoned
  *   POST   /v1/claims/<digest>          claim-marker CAS: body
@@ -41,10 +49,20 @@
  * Marker/claim mutations are serialized under one mutex, which is what
  * makes the claim CAS atomic: of N workers adopting the same orphan,
  * exactly one observes the expected marker bytes and wins. Orphan
- * classification runs on the server, so a worker that died on the
- * server's own host is detected by pid probe exactly as LocalDirStore
- * would — markers from other hosts are presumed live until their
- * coordinator declares them orphaned.
+ * classification runs on the server: an expired marker deadline (plus
+ * clock-skew slack) orphans work from any host, and a pid probe
+ * catches deaths on the server's own host early.
+ *
+ * Hardening for untrusted networks:
+ *
+ *  - auth: constructed with a bearer token, every /v1 request must
+ *    carry `Authorization: Bearer <token>` (compared in constant
+ *    time) or it is answered 401 before any dispatch;
+ *  - compression: entry GETs honour `Accept-Encoding: x-smt-lz`,
+ *    entry PUTs accept `Content-Encoding: x-smt-lz` (the body is
+ *    decompressed *before* the X-Content-Digest check, so digests
+ *    always cover the true entry bytes). /v1/ping advertises the
+ *    supported encodings for client negotiation.
  */
 
 #ifndef SMT_SWEEP_STORE_SERVICE_HH
@@ -62,24 +80,36 @@ namespace smt::sweep
 class StoreService
 {
   public:
-    /** Serve the store rooted at `dir` (created if needed). */
-    explicit StoreService(const std::string &dir, bool verbose = false);
+    /** Serve the store rooted at `dir` (created if needed). A
+     *  non-empty `token` demands `Authorization: Bearer <token>` on
+     *  every route. */
+    explicit StoreService(const std::string &dir, bool verbose = false,
+                          std::string token = std::string());
 
     /** Handle one request (thread-safe; plug into HttpServer). */
     net::HttpResponse handle(const net::HttpRequest &req);
 
     const std::string &dir() const { return store_.dir(); }
 
+    bool requiresAuth() const { return !token_.empty(); }
+
   private:
     net::HttpResponse dispatch(const net::HttpRequest &req);
+    bool authorized(const net::HttpRequest &req) const;
 
     LocalDirStore store_;
     bool verbose_;
+    std::string token_;
     std::mutex mu_;
 };
 
 /** The ETag / X-Content-Digest value for a message body. */
 std::string contentDigest(const std::string &body);
+
+/** Constant-time string equality: the comparison touches every byte
+ *  of both inputs whatever matches, so a token guess learns nothing
+ *  from response timing. */
+bool tokenEquals(const std::string &a, const std::string &b);
 
 } // namespace smt::sweep
 

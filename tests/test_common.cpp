@@ -1,14 +1,16 @@
 /**
  * @file
  * Unit tests for the common utilities: RNG, saturating counter,
- * histogram, and the mixing hash.
+ * histogram, the mixing hash, and the x-smt-lz transfer codec.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "common/histogram.hh"
+#include "common/lz.hh"
 #include "common/rng.hh"
 #include "common/sat_counter.hh"
 
@@ -188,6 +190,87 @@ TEST(Histogram, ResetClears)
     h.reset();
     EXPECT_EQ(h.samples(), 0u);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Lz, RoundTripsRepresentativeInputs)
+{
+    std::vector<std::string> inputs = {
+        "",
+        "x",
+        "ab",
+        "abc",
+        std::string(10000, 'a'), // overlapping-copy run-length case.
+        "no repeats here at all: 0123456789!@#$%^&*()",
+    };
+    // A cache-entry-shaped JSON body, the codec's actual workload.
+    std::string entry = "{\n  \"digest\": \"0123456789abcdef\",\n";
+    for (int i = 0; i < 200; ++i)
+        entry += "  \"committedInstructions." + std::to_string(i)
+                 + "\": " + std::to_string(i * 977) + ",\n";
+    entry += "  \"cycles\": 123456789\n}\n";
+    inputs.push_back(entry);
+    // Incompressible noise must still round-trip (it just grows).
+    Rng rng(1234);
+    std::string noise;
+    for (int i = 0; i < 4096; ++i)
+        noise.push_back(static_cast<char>(rng.next64() & 0xff));
+    inputs.push_back(noise);
+
+    for (const std::string &in : inputs) {
+        const std::string packed = lzCompress(in);
+        const std::optional<std::string> out =
+            lzDecompress(packed, in.size());
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, in);
+    }
+}
+
+TEST(Lz, CompressesTheProtocolsJsonSeveralFold)
+{
+    std::string entry;
+    for (int i = 0; i < 100; ++i)
+        entry += "      \"histogramBucket\": 1234567,\n";
+    const std::string packed = lzCompress(entry);
+    EXPECT_LT(packed.size(), entry.size() / 3);
+}
+
+TEST(Lz, MalformedStreamsDecodeToNothing)
+{
+    const std::string input =
+        "the quick brown fox jumps over the lazy dog; "
+        "the quick brown fox jumps over the lazy dog";
+    const std::string packed = lzCompress(input);
+
+    // Not an SLZ stream at all.
+    EXPECT_FALSE(lzDecompress("plainly not compressed", 1 << 20)
+                     .has_value());
+    EXPECT_FALSE(lzDecompress("", 1 << 20).has_value());
+
+    // Every truncation must fail cleanly — a prefix can never decode
+    // to the full declared size.
+    for (std::size_t cut = 0; cut < packed.size(); ++cut)
+        EXPECT_FALSE(lzDecompress(packed.substr(0, cut), 1 << 20)
+                         .has_value());
+
+    // Trailing garbage is corruption, not slack.
+    EXPECT_FALSE(lzDecompress(packed + "x", 1 << 20).has_value());
+
+    // A declared size above the cap is rejected before any decode.
+    EXPECT_FALSE(lzDecompress(packed, input.size() - 1).has_value());
+
+    // Flipped bytes anywhere must decode to nothing or to *different*
+    // bytes — never crash, and never silently reproduce the input.
+    // (The protocol layers a content digest on top for exactly the
+    // "different bytes" case.)
+    for (std::size_t i = 4; i < packed.size(); ++i) {
+        std::string bent = packed;
+        bent[i] = static_cast<char>(bent[i] ^ 0x5a);
+        const std::optional<std::string> out =
+            lzDecompress(bent, 1 << 20);
+        if (out.has_value()) {
+            EXPECT_NE(*out, input);
+        }
+    }
 }
 
 } // namespace

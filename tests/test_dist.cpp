@@ -12,10 +12,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <random>
 #include <set>
+#include <thread>
 
 #include "dist/coordinator.hh"
 #include "dist/progress.hh"
@@ -363,6 +366,175 @@ TEST(ResultStore, ManifestRoundTripsAndIsNotAnEntry)
     EXPECT_TRUE(store->storedDigests().empty());
 }
 
+TEST(ResultStore, TokenResolutionPrecedenceAndFirstLine)
+{
+    TempDir dir("token");
+    const std::string path = dir.path() + "/token";
+    {
+        std::ofstream out(path);
+        out << "  tok-123 \n# provisioned 2026-07\n";
+    }
+    // The file contract is "first line, trimmed" — later lines must
+    // never leak into the Authorization header.
+    EXPECT_EQ(sweep::resolveStoreToken("", path), "tok-123");
+    // An explicit token outranks the file...
+    EXPECT_EQ(sweep::resolveStoreToken("explicit", path), "explicit");
+    // ...and the environment backstops both (how workers receive it).
+    ASSERT_EQ(::setenv("SMTSTORE_TOKEN", " env-tok \n", 1), 0);
+    EXPECT_EQ(sweep::resolveStoreToken("", ""), "env-tok");
+    ::unsetenv("SMTSTORE_TOKEN");
+    EXPECT_EQ(sweep::resolveStoreToken("", ""), "");
+}
+
+// ---- Marker TTL leases -----------------------------------------------------
+
+/** Seconds since the epoch on the system clock (what deadlines use). */
+double
+epochNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/** A marker from an unprobeable foreign host with a given deadline —
+ *  the cross-host worker-death case only the TTL can detect. */
+void
+writeForeignMarker(sweep::ResultStore &store, const std::string &digest,
+                   double deadline)
+{
+    sweep::Json marker = sweep::Json::object();
+    marker.set("pid", sweep::Json(std::uint64_t{999999999}));
+    marker.set("host", sweep::Json("elsewhere"));
+    marker.set("deadline", sweep::Json(deadline));
+    static_cast<sweep::LocalDirStore &>(store).writeMarker(digest,
+                                                           marker);
+}
+
+TEST(MarkerTtl, ExpiryIsJudgedWithClockSkewSlack)
+{
+    TempDir dir("ttl");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    const std::string digest(32, 'a');
+
+    // Live lease: in progress, however unprobeable the host is.
+    writeForeignMarker(*store, digest, epochNow() + 60.0);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::InProgress);
+
+    // Expired — but by less than the slack (default 10 s): clock skew
+    // between hosts must not orphan a healthy worker.
+    writeForeignMarker(*store, digest, epochNow() - 2.0);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::InProgress);
+
+    // Expired beyond the slack: orphaned, no coordinator involved.
+    writeForeignMarker(*store, digest, epochNow() - 3600.0);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Orphaned);
+
+    // The slack is tunable (tests and skew-hostile deployments):
+    // under a tiny slack the same 2-second expiry is already death.
+    ASSERT_EQ(::setenv("SMTSWEEP_MARKER_SLACK", "0.5", 1), 0);
+    writeForeignMarker(*store, digest, epochNow() - 2.0);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::Orphaned);
+    ::unsetenv("SMTSWEEP_MARKER_SLACK");
+
+    // Markers without a deadline (an older writer) keep the old
+    // semantics: foreign hosts are presumed live.
+    sweep::Json legacy = sweep::Json::object();
+    legacy.set("pid", sweep::Json(std::uint64_t{999999999}));
+    legacy.set("host", sweep::Json("elsewhere"));
+    static_cast<sweep::LocalDirStore *>(store.get())
+        ->writeMarker(digest, legacy);
+    EXPECT_EQ(store->state(digest), sweep::WorkState::InProgress);
+}
+
+TEST(MarkerTtl, HeartbeatKeepsLeasesFreshUntilRemoved)
+{
+    TempDir dir("heartbeat");
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    const std::string digest(32, 'b');
+
+    const double ttl = 0.3;
+    store->markInProgress(digest, ttl);
+    const std::string first = store->readMarkerText(digest);
+    ASSERT_FALSE(first.empty());
+
+    sweep::MarkerHeartbeat heartbeat(*store, ttl);
+    heartbeat.add(digest);
+    // Several refresh cadences later the lease has been rewritten
+    // with a later deadline (same owner, fresher bytes).
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    const std::string refreshed = store->readMarkerText(digest);
+    ASSERT_FALSE(refreshed.empty());
+    EXPECT_NE(refreshed, first);
+    const sweep::Json a = sweep::Json::parseOrDie(first);
+    const sweep::Json b = sweep::Json::parseOrDie(refreshed);
+    EXPECT_GT(b.at("deadline").asDouble(), a.at("deadline").asDouble());
+    EXPECT_EQ(a.at("pid").asUInt(), b.at("pid").asUInt());
+    EXPECT_TRUE(sweep::sameMarkerOwner(refreshed, a));
+
+    // After remove() the marker is left alone — clearing it sticks.
+    // (A beat snapshotted just before remove() may still land; give
+    // it a cadence to drain before clearing.)
+    heartbeat.remove(digest);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    store->clearInProgress(digest);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_EQ(store->readMarkerText(digest), "");
+}
+
+TEST(MarkerTtl, StealLoopAdoptsExpiredLeasesWithoutACoordinator)
+{
+    // The cross-host death scenario, coordinator declaration disabled:
+    // a worker on another host (unprobeable pid) took shard 0, marked
+    // its digests, and was kill -9'd — all that remains is its markers
+    // with expired leases. A surviving shard-1 worker's steal loop
+    // must adopt and measure every one of them from the marker TTL
+    // alone.
+    const NamedExperiment *smoke = sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+
+    TempDir dir("ttlsteal");
+    sweep::RunnerOptions ropts;
+    ropts.measure = tinyOptions();
+    ropts.cacheDir = dir.path();
+
+    const std::vector<SweepPoint> grid =
+        smoke->spec.expand(ropts.measure);
+    const ShardPlan plan = planShards(grid, 2);
+    std::unique_ptr<sweep::ResultStore> store =
+        sweep::openLocalStore(dir.path());
+    std::size_t dead_digests = 0;
+    for (const auto &[digest, shard] : plan.shardOfDigest) {
+        if (shard != 0)
+            continue;
+        writeForeignMarker(*store, digest, epochNow() - 3600.0);
+        ++dead_digests;
+    }
+    ASSERT_GT(dead_digests, 0u);
+
+    ShardWorkerOptions wopts;
+    wopts.index = 1;
+    wopts.count = 2;
+    wopts.steal.enabled = true;
+    wopts.steal.waitSeconds = 5.0;
+    const ShardRunResult r = runShard(smoke->spec, ropts, wopts);
+    EXPECT_EQ(r.stolen, dead_digests);
+
+    // Nothing left behind: every digest in the grid is Done and the
+    // merge replays entirely from the store.
+    for (const auto &[digest, shard] : plan.shardOfDigest) {
+        (void)shard;
+        EXPECT_EQ(store->state(digest), sweep::WorkState::Done);
+    }
+    sweep::RunnerOptions merge = ropts;
+    merge.requireCached = true;
+    const sweep::SweepOutcome merged =
+        sweep::runSweep(smoke->spec, merge);
+    EXPECT_EQ(merged.cacheMisses, 0u);
+}
+
 // ---- Progress --------------------------------------------------------------
 
 TEST(Progress, WriterRecordsAndReaderAggregates)
@@ -594,7 +766,7 @@ TEST(Dist, AuditArtifactClassifiesManifestWork)
     store->writeManifest(manifest);
 
     bool ok = false;
-    const sweep::Json doc = auditArtifact(dir.path(), ok);
+    const sweep::Json doc = auditArtifact(dir.path(), "", ok);
     ASSERT_TRUE(ok);
     EXPECT_EQ(doc.at("experiment").asString(), "smoke");
     EXPECT_EQ(doc.at("unique").asUInt(), 3u);
@@ -607,7 +779,8 @@ TEST(Dist, AuditArtifactClassifiesManifestWork)
 
     bool bad_ok = true;
     TempDir empty("audit_empty");
-    const sweep::Json no_manifest = auditArtifact(empty.path(), bad_ok);
+    const sweep::Json no_manifest =
+        auditArtifact(empty.path(), "", bad_ok);
     EXPECT_FALSE(bad_ok);
     EXPECT_TRUE(no_manifest.has("error"));
 }

@@ -15,9 +15,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <random>
+#include <thread>
+
+#include "common/lz.hh"
 
 #include "dist/shard.hh"
 #include "dist/ssh_launcher.hh"
@@ -498,6 +502,365 @@ TEST(RemoteStore, UnreachableServerDegradesToMisses)
     EXPECT_FALSE(store->readManifest().has_value());
 }
 
+// ---- Bearer auth -----------------------------------------------------------
+
+TEST(StoreAuth, ConstantTimeEqualityIsCorrect)
+{
+    EXPECT_TRUE(sweep::tokenEquals("", ""));
+    EXPECT_TRUE(sweep::tokenEquals("secret", "secret"));
+    EXPECT_FALSE(sweep::tokenEquals("secret", "secreT"));
+    EXPECT_FALSE(sweep::tokenEquals("secret", "secret2"));
+    EXPECT_FALSE(sweep::tokenEquals("secret", ""));
+    EXPECT_FALSE(sweep::tokenEquals("", "secret"));
+}
+
+/** A token-protected smtstore on loopback. */
+class AuthStoreTest : public ::testing::Test
+{
+  protected:
+    AuthStoreTest()
+        : dir_("auth"), token_("s3kr1t-token"),
+          service_(dir_.path(), false, token_)
+    {
+    }
+
+    void SetUp() override
+    {
+        std::string error;
+        ASSERT_TRUE(server_.start(
+            "127.0.0.1", 0,
+            [this](const net::HttpRequest &req) {
+                return service_.handle(req);
+            },
+            &error))
+            << error;
+        url_ = "http://127.0.0.1:" + std::to_string(server_.port());
+    }
+
+    std::optional<net::HttpResponse>
+    rawGet(const std::string &target, const std::string &auth_header)
+    {
+        net::HttpClient client("127.0.0.1", server_.port());
+        net::HttpRequest req;
+        req.target = target;
+        if (!auth_header.empty())
+            req.headers.set("Authorization", auth_header);
+        return client.request(req);
+    }
+
+    TempDir dir_;
+    std::string token_;
+    sweep::StoreService service_;
+    net::HttpServer server_;
+    std::string url_;
+};
+
+TEST_F(AuthStoreTest, MissingOrWrongTokenIs401OnEveryRoute)
+{
+    for (const std::string &target :
+         {std::string("/v1/ping"), std::string("/v1/entries"),
+          std::string("/v1/manifest"),
+          "/v1/markers/" + std::string(32, 'a')}) {
+        // No credentials at all.
+        std::optional<net::HttpResponse> resp = rawGet(target, "");
+        ASSERT_TRUE(resp.has_value());
+        EXPECT_EQ(resp->status, 401);
+        EXPECT_EQ(resp->headers.get("WWW-Authenticate"), "Bearer");
+
+        // A wrong token, and a right token under the wrong scheme.
+        resp = rawGet(target, "Bearer not-the-token");
+        ASSERT_TRUE(resp.has_value());
+        EXPECT_EQ(resp->status, 401);
+        resp = rawGet(target, "Basic " + token_);
+        ASSERT_TRUE(resp.has_value());
+        EXPECT_EQ(resp->status, 401);
+    }
+
+    // The real token opens the door.
+    const std::optional<net::HttpResponse> resp =
+        rawGet("/v1/ping", "Bearer " + token_);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 200);
+}
+
+TEST_F(AuthStoreTest, TokenedClientWorksTokenlessClientDegradesToMisses)
+{
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+    const DataPoint measured = measure(cfg, opts);
+
+    // An authenticated client has full store semantics...
+    std::unique_ptr<sweep::ResultStore> good =
+        sweep::openStore(url_, token_);
+    good->store(digest, cfg, opts, measured.stats, 0.5);
+    ASSERT_TRUE(good->lookup(digest).has_value());
+    EXPECT_EQ(good->state(digest), sweep::WorkState::Done);
+
+    // ...while a tokenless (or wrong-token) client sees only misses —
+    // never errors, and never data.
+    std::unique_ptr<sweep::ResultStore> bad = sweep::openStore(url_);
+    EXPECT_FALSE(bad->lookup(digest).has_value());
+    EXPECT_EQ(bad->state(digest), sweep::WorkState::Pending);
+    EXPECT_TRUE(bad->storedDigests().empty());
+    EXPECT_FALSE(bad->readManifest().has_value());
+
+    // The ping probe reports the failure (and the ping document
+    // advertises the auth mode to authenticated clients).
+    const auto *bad_remote =
+        static_cast<sweep::RemoteResultStore *>(bad.get());
+    std::string error;
+    EXPECT_FALSE(bad_remote->ping(&error));
+    EXPECT_NE(error.find("401"), std::string::npos);
+    const std::optional<net::HttpResponse> ping =
+        rawGet("/v1/ping", "Bearer " + token_);
+    ASSERT_TRUE(ping.has_value());
+    EXPECT_NE(ping->body.find("\"auth\": \"bearer\""),
+              std::string::npos);
+}
+
+// ---- Transfer compression --------------------------------------------------
+
+TEST_F(RemoteStoreTest, PingAdvertisesEncodings)
+{
+    net::HttpClient client("127.0.0.1", server_.port());
+    net::HttpRequest req;
+    req.target = "/v1/ping";
+    const std::optional<net::HttpResponse> resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_NE(resp->body.find("x-smt-lz"), std::string::npos);
+}
+
+TEST_F(RemoteStoreTest, EntryGetHonoursAcceptEncoding)
+{
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+    local_->store(digest, cfg, opts, measure(cfg, opts).stats);
+    const std::optional<std::string> entry_bytes =
+        static_cast<sweep::LocalDirStore *>(local_.get())
+            ->cache()
+            .readEntryText(digest);
+    ASSERT_TRUE(entry_bytes.has_value());
+
+    net::HttpClient client("127.0.0.1", server_.port());
+    net::HttpRequest req;
+    req.target = "/v1/entries/" + digest;
+
+    // Without Accept-Encoding (an old client): identity bytes.
+    std::optional<net::HttpResponse> resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_TRUE(resp->headers.get("Content-Encoding").empty());
+    EXPECT_EQ(resp->body, *entry_bytes);
+
+    // With it: a smaller body that decodes to the same bytes, under
+    // an ETag that still digests the *uncompressed* entry.
+    req.headers.set("Accept-Encoding", kLzEncodingName);
+    resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->headers.get("Content-Encoding"), kLzEncodingName);
+    EXPECT_LT(resp->body.size(), entry_bytes->size());
+    const std::optional<std::string> decoded =
+        lzDecompress(resp->body, 1 << 20);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, *entry_bytes);
+    EXPECT_EQ(resp->headers.get("ETag"),
+              "\"" + sweep::contentDigest(*entry_bytes) + "\"");
+
+    // The RemoteResultStore read path (which asks for compression)
+    // replays the stats bit-identically through the codec.
+    const std::optional<SimStats> hit = remote_->lookup(digest);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(sweep::toJson(*hit).dump(),
+              sweep::toJson(*local_->lookup(digest)).dump());
+}
+
+TEST_F(RemoteStoreTest, CompressedPutIsVerifiedAgainstTrueBytes)
+{
+    const SmtConfig cfg = presets::baseSmt(2);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+    const DataPoint measured = measure(cfg, opts);
+
+    // The client negotiates x-smt-lz via ping and compresses its PUT;
+    // the server must store the *uncompressed* canonical entry, byte-
+    // identical to what a local store would write.
+    remote_->store(digest, cfg, opts, measured.stats, 0.5);
+    const std::optional<std::string> stored =
+        static_cast<sweep::LocalDirStore *>(local_.get())
+            ->cache()
+            .readEntryText(digest);
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_EQ(stored->substr(0, 1), "{"); // plaintext on disk.
+    const std::optional<SimStats> hit = local_->lookup(digest);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(sweep::toJson(*hit).dump(),
+              sweep::toJson(measured.stats).dump());
+
+    // A compressed PUT whose stream is corrupt is rejected and
+    // nothing is committed.
+    const std::string other(32, 'e');
+    net::HttpClient client("127.0.0.1", server_.port());
+    net::HttpRequest req;
+    req.method = "PUT";
+    req.target = "/v1/entries/" + other;
+    req.body = "this is not an SLZ1 stream";
+    req.headers.set("Content-Encoding", kLzEncodingName);
+    req.headers.set("X-Content-Digest", sweep::contentDigest("x"));
+    std::optional<net::HttpResponse> resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 400);
+    EXPECT_FALSE(local_->lookup(other).has_value());
+
+    // An encoding the server never advertised is refused as such.
+    req.headers.set("Content-Encoding", "gzip");
+    resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 415);
+}
+
+TEST(RemoteStore, CorruptCompressedGetBodyIsAMiss)
+{
+    // A byzantine server: claims x-smt-lz but sends garbage. The
+    // client must read it as a miss, exactly like a corrupt entry.
+    const std::string digest(32, 'a');
+    net::HttpServer server;
+    ASSERT_TRUE(server.start(
+        "127.0.0.1", 0, [](const net::HttpRequest &) {
+            net::HttpResponse resp;
+            resp.status = 200;
+            resp.headers.set("Content-Encoding", kLzEncodingName);
+            resp.body = "decidedly not compressed bytes";
+            return resp;
+        }));
+    std::unique_ptr<sweep::ResultStore> store = sweep::openStore(
+        "http://127.0.0.1:" + std::to_string(server.port()));
+    EXPECT_FALSE(store->lookup(digest).has_value());
+}
+
+// ---- Marker TTL leases over the wire ---------------------------------------
+
+TEST_F(RemoteStoreTest, ExpiredMarkerLeaseOrphansAcrossHosts)
+{
+    const std::string digest(32, 'a');
+    const double now = std::chrono::duration<double>(
+                           std::chrono::system_clock::now()
+                               .time_since_epoch())
+                           .count();
+    auto foreign_marker = [&](double deadline) {
+        sweep::Json marker = sweep::Json::object();
+        marker.set("pid", sweep::Json(std::uint64_t{999999999}));
+        marker.set("host", sweep::Json("elsewhere"));
+        marker.set("deadline", sweep::Json(deadline));
+        static_cast<sweep::LocalDirStore *>(local_.get())
+            ->writeMarker(digest, marker);
+    };
+
+    // A live lease from an unprobeable foreign host: in progress.
+    foreign_marker(now + 60.0);
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::InProgress);
+
+    // Expired, but within the clock-skew slack (default 10 s): still
+    // presumed live — skew must not orphan healthy workers.
+    foreign_marker(now - 2.0);
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::InProgress);
+
+    // Expired beyond the slack: orphaned for every observer, with no
+    // coordinator involved and no pid probe possible.
+    foreign_marker(now - 3600.0);
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::Orphaned);
+    EXPECT_EQ(local_->state(digest), sweep::WorkState::Orphaned);
+
+    // And adoptable through the ordinary claim CAS.
+    EXPECT_TRUE(
+        remote_->tryAdopt(digest, remote_->readMarkerText(digest)));
+    EXPECT_EQ(remote_->state(digest), sweep::WorkState::InProgress);
+}
+
+TEST_F(RemoteStoreTest, TypeConfusedMarkersNeverCrashAnyone)
+{
+    // Markers come from peers: a {pid: -1} or {host: 7} document must
+    // classify as *something* (orphaned / in-progress), never abort
+    // the shared server or an observing worker.
+    const std::string digest(32, 'c');
+    net::HttpClient client("127.0.0.1", server_.port());
+    const std::vector<std::string> hostile = {
+        "{\"pid\": -1, \"host\": \"h\"}",
+        "{\"pid\": 1.5, \"host\": 7}",
+        "{\"pid\": \"what\", \"host\": [\"x\"]}",
+        "{\"host\": \"h\"}",
+    };
+    for (const std::string &body : hostile) {
+        net::HttpRequest req;
+        req.method = "PUT";
+        req.target = "/v1/markers/" + digest;
+        req.body = body;
+        const std::optional<net::HttpResponse> resp =
+            client.request(req);
+        ASSERT_TRUE(resp.has_value());
+        EXPECT_EQ(resp->status, 204);
+        const sweep::WorkState state = remote_->state(digest);
+        EXPECT_TRUE(state == sweep::WorkState::Orphaned
+                    || state == sweep::WorkState::InProgress);
+        remote_->tryAdopt(digest, remote_->readMarkerText(digest));
+        remote_->clearInProgress(digest);
+    }
+
+    // A type-confused claim body is a 400, not a server abort.
+    net::HttpRequest bad;
+    bad.method = "POST";
+    bad.target = "/v1/claims/" + digest;
+    bad.body = "{\"expect\": 5, \"marker\": []}";
+    const std::optional<net::HttpResponse> resp = client.request(bad);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 400);
+}
+
+TEST_F(RemoteStoreTest, BulkMarkerRefreshLeasesManyDigestsAtOnce)
+{
+    const std::string a(32, 'a'), b(32, 'b');
+    remote_->refreshMarkers({a, b}, 60.0);
+    EXPECT_EQ(remote_->state(a), sweep::WorkState::InProgress);
+    EXPECT_EQ(remote_->state(b), sweep::WorkState::InProgress);
+    EXPECT_TRUE(
+        sweep::sameMarkerOwner(remote_->readMarkerText(a),
+                               sweep::makeSelfMarker()));
+
+    // Done work keeps no lease: a refresh racing the entry commit
+    // must not resurrect the cleared marker.
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string done = sweep::measurementDigest(cfg, opts);
+    remote_->store(done, cfg, opts, measure(cfg, opts).stats);
+    remote_->refreshMarkers({done}, 60.0);
+    EXPECT_EQ(remote_->readMarkerText(done), "");
+    EXPECT_EQ(remote_->state(done), sweep::WorkState::Done);
+}
+
+TEST(RemoteStore, BulkRefreshFallsBackToPutsOnOldServers)
+{
+    // An "old" server: the store service minus the bulk route.
+    TempDir dir("oldserver");
+    sweep::StoreService service(dir.path());
+    net::HttpServer server;
+    ASSERT_TRUE(server.start(
+        "127.0.0.1", 0, [&service](const net::HttpRequest &req) {
+            if (req.method == "POST" && req.target == "/v1/markers") {
+                net::HttpResponse resp;
+                resp.status = 404;
+                return resp;
+            }
+            return service.handle(req);
+        }));
+    std::unique_ptr<sweep::ResultStore> store = sweep::openStore(
+        "http://127.0.0.1:" + std::to_string(server.port()));
+
+    const std::string a(32, 'a'), b(32, 'b');
+    store->refreshMarkers({a, b}, 60.0);
+    EXPECT_EQ(store->state(a), sweep::WorkState::InProgress);
+    EXPECT_EQ(store->state(b), sweep::WorkState::InProgress);
+}
+
 // ---- The ssh launcher ------------------------------------------------------
 
 TEST(SshLauncher, ShellQuotingAndCommandConstruction)
@@ -559,6 +922,63 @@ TEST(SshLauncher, CapturesHeartbeatsAndForwardsOutput)
     EXPECT_TRUE(rec.finished);
 }
 
+TEST(SshLauncher, StoreTokenRidesStdinAndNeverArgv)
+{
+    const std::string token = "super-secret-store-token";
+
+    // The command construction: with a token, the remote shell reads
+    // it from stdin into the environment; nothing token-shaped is in
+    // the argv ps would show on either host.
+    const std::vector<std::string> argv = dist::sshArgv(
+        "ssh", "hostA", {"/opt/smtsweep", "--shard", "0/2"},
+        /*token_on_stdin=*/true);
+    for (const std::string &arg : argv)
+        EXPECT_EQ(arg.find(token), std::string::npos);
+    EXPECT_NE(argv.back().find("IFS= read -r SMTSTORE_TOKEN"),
+              std::string::npos);
+    EXPECT_NE(argv.back().find("export SMTSTORE_TOKEN"),
+              std::string::npos);
+
+    // End to end through a stub ssh: the worker sees the token in
+    // SMTSTORE_TOKEN, and the stub's own argv never carried it.
+    TempDir dir("sshtoken");
+    const std::string stub = dir.path() + "/fake-ssh";
+    const std::string argv_log = dir.path() + "/argv.txt";
+    const std::string token_out = dir.path() + "/token.txt";
+    {
+        std::ofstream out(stub);
+        out << "#!/bin/sh\n"
+               "printf '%s\\n' \"$@\" > " << argv_log << "\n"
+               "shift 3\n"
+               "exec /bin/sh -c \"$1\"\n";
+    }
+    ::chmod(stub.c_str(), 0755);
+
+    dist::SshWorkerLauncher launcher({"ignored-host"}, stub);
+    launcher.setStoreToken(token);
+    const long handle = launcher.launch(
+        0, {"/bin/sh", "-c",
+            "printf '%s' \"$SMTSTORE_TOKEN\" > " + token_out});
+    int exit_code = -1;
+    launcher.wait(handle, exit_code);
+    EXPECT_EQ(exit_code, 0);
+
+    std::string delivered;
+    {
+        std::ifstream in(token_out);
+        delivered.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    EXPECT_EQ(delivered, token);
+
+    std::string logged_argv;
+    {
+        std::ifstream in(argv_log);
+        logged_argv.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_FALSE(logged_argv.empty());
+    EXPECT_EQ(logged_argv.find(token), std::string::npos);
+}
+
 // ---- The acceptance bar ----------------------------------------------------
 
 TEST(RemoteStore, TwoShardSweepOverLoopbackMergesBitIdenticalToSerial)
@@ -574,9 +994,13 @@ TEST(RemoteStore, TwoShardSweepOverLoopbackMergesBitIdenticalToSerial)
     const sweep::SweepOutcome reference =
         sweep::runSweep(smoke->spec, serial);
 
-    // An in-process smtstore...
+    // An in-process smtstore, hardened as it would be on an untrusted
+    // network: bearer auth required, compression negotiated (the
+    // client always compresses entry PUTs against a server that
+    // advertises x-smt-lz).
     TempDir dir("loopback");
-    sweep::StoreService service(dir.path());
+    const std::string token = "loopback-acceptance-token";
+    sweep::StoreService service(dir.path(), false, token);
     net::HttpServer server;
     std::string error;
     ASSERT_TRUE(server.start("127.0.0.1", 0,
@@ -589,10 +1013,12 @@ TEST(RemoteStore, TwoShardSweepOverLoopbackMergesBitIdenticalToSerial)
         "http://127.0.0.1:" + std::to_string(server.port());
 
     // ...backing both workers of a 2-shard run: every result, marker,
-    // and heartbeat-visible byte crosses the wire.
+    // and heartbeat-visible byte crosses the wire, authenticated and
+    // compressed.
     sweep::RunnerOptions shard_opts;
     shard_opts.measure = tinyOptions();
     shard_opts.cacheDir = url;
+    shard_opts.storeToken = token;
     const dist::ShardRunResult s0 =
         dist::runShard(smoke->spec, shard_opts, 0, 2);
     const dist::ShardRunResult s1 =

@@ -3,17 +3,22 @@
  * smtstore: serve a result-store directory over HTTP so distributed
  * sweep workers on other machines can share it by URL.
  *
- *   smtstore --dir DIR [--bind ADDR] [--port N]
+ *   smtstore --dir DIR [--bind ADDR] [--port N] [--token-file P]
  *       serve DIR (created if needed) on http://ADDR:N; every sweep
  *       tool then accepts the URL wherever it accepts --cache-dir
- *       (e.g. `smtsweep --store-url http://host:8377 ...`);
+ *       (e.g. `smtsweep --store-url http://host:8377 ...`). With a
+ *       token (--token-file or $SMTSTORE_TOKEN) every request must
+ *       present it as an Authorization bearer — the gate for serving
+ *       beyond a trusted network;
  *   smtstore --ping URL
  *       probe a running server (exit 0 when it answers) — CI uses
- *       this to wait for startup without external tools.
+ *       this to wait for startup without external tools. Pings a
+ *       token-protected server with the same token sources.
  *
  * The wire protocol (digest-keyed entries with content-digest
- * verification on both ends, markers, claim CAS, manifest) is
- * documented in src/sweep/store_service.hh.
+ * verification on both ends, x-smt-lz transfer compression, bearer
+ * auth, markers with TTL leases, claim CAS, manifest) is specified in
+ * docs/PROTOCOL.md.
  */
 
 #include <signal.h>
@@ -26,6 +31,7 @@
 
 #include "net/http_server.hh"
 #include "sweep/remote_store.hh"
+#include "sweep/result_store.hh"
 #include "sweep/store_service.hh"
 
 namespace
@@ -53,8 +59,14 @@ usage(int code)
         "                  0.0.0.0 for other machines)\n"
         "  --port N        listen port (default 8377; 0 picks an\n"
         "                  ephemeral port, printed on startup)\n"
-        "  --ping URL      probe a running server and exit\n"
-        "  --verbose       log every request\n");
+        "  --token-file P  require `Authorization: Bearer <token>` on\n"
+        "                  every request, token = P's first line\n"
+        "                  ($SMTSTORE_TOKEN also works; a flag would\n"
+        "                  leak the token into ps)\n"
+        "  --ping URL      probe a running server and exit (sends the\n"
+        "                  token from the same sources, if any)\n"
+        "  --verbose       log every request\n"
+        "  --help, -h      print this help\n");
     return code;
 }
 
@@ -68,6 +80,7 @@ main(int argc, char **argv)
     std::string dir = ".smtstore";
     std::string bind_addr = "127.0.0.1";
     std::string ping_url;
+    std::string token_file;
     unsigned port = 8377;
     bool verbose = false;
 
@@ -98,6 +111,8 @@ main(int argc, char **argv)
             }
             port = static_cast<unsigned>(n);
         }
+        else if (std::strcmp(arg, "--token-file") == 0)
+            token_file = next_arg(i);
         else if (std::strcmp(arg, "--ping") == 0)
             ping_url = next_arg(i);
         else if (std::strcmp(arg, "--verbose") == 0)
@@ -111,6 +126,8 @@ main(int argc, char **argv)
         }
     }
 
+    const std::string token = sweep::resolveStoreToken("", token_file);
+
     if (!ping_url.empty()) {
         net::Url url;
         if (!net::parseUrl(ping_url, url)) {
@@ -118,7 +135,7 @@ main(int argc, char **argv)
                          ping_url.c_str());
             return 2;
         }
-        const sweep::RemoteResultStore store(url);
+        const sweep::RemoteResultStore store(url, token);
         std::string error;
         if (store.ping(&error)) {
             std::printf("smtstore at %s is alive\n", ping_url.c_str());
@@ -129,7 +146,7 @@ main(int argc, char **argv)
         return 1;
     }
 
-    sweep::StoreService service(dir, verbose);
+    sweep::StoreService service(dir, verbose, token);
     net::HttpServer server;
     std::string error;
     if (!server.start(bind_addr, static_cast<std::uint16_t>(port),
@@ -141,9 +158,11 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::printf("smtstore: serving %s on http://%s:%u\n",
+    std::printf("smtstore: serving %s on http://%s:%u%s\n",
                 service.dir().c_str(), bind_addr.c_str(),
-                static_cast<unsigned>(server.port()));
+                static_cast<unsigned>(server.port()),
+                service.requiresAuth() ? " (bearer auth required)"
+                                       : "");
     std::fflush(stdout);
 
     // Block the shutdown signals, then wait with sigsuspend: the

@@ -32,6 +32,7 @@
 #include "dist/coordinator.hh"
 #include "sweep/experiments.hh"
 #include "sweep/remote_store.hh"
+#include "sweep/result_store.hh"
 #include "sweep/runner.hh"
 
 namespace
@@ -55,6 +56,15 @@ usage(int code)
         "  --store-url URL     remote store served by smtstore\n"
         "                      (http://host:port; same slot as\n"
         "                      --cache-dir)\n"
+        "  --store-token T     bearer token for a token-protected\n"
+        "                      store; forwarded to workers through the\n"
+        "                      environment / the ssh channel, never\n"
+        "                      argv (prefer --store-token-file or\n"
+        "                      $SMTSTORE_TOKEN: argv is visible in ps)\n"
+        "  --store-token-file P  read the token's first line from P\n"
+        "  --marker-ttl S      worker marker lease seconds (default\n"
+        "                      60); peers adopt work whose lease has\n"
+        "                      expired past the clock-skew slack\n"
         "  --retries K         relaunches per failed shard with\n"
         "                      --no-steal (default 1)\n"
         "  --no-steal          relaunch dead shards instead of letting\n"
@@ -77,7 +87,8 @@ usage(int code)
         "  --serial            workers run their points serially\n"
         "  --no-progress       no live progress line on stderr\n"
         "  --status            audit the store manifest and exit\n"
-        "  --verbose           verbose workers + per-point cache logs\n");
+        "  --verbose           verbose workers + per-point cache logs\n"
+        "  --help, -h          print this help\n");
     return code;
 }
 
@@ -114,6 +125,7 @@ main(int argc, char **argv)
 
     std::string experiment;
     std::string json_path;
+    std::string store_token, store_token_file;
     bool status_mode = false;
 
     auto next_arg = [&](int &i) -> const char * {
@@ -148,6 +160,22 @@ main(int argc, char **argv)
         else if (std::strcmp(arg, "--cache-dir") == 0
                  || std::strcmp(arg, "--store-url") == 0)
             opts.ropts.cacheDir = next_arg(i);
+        else if (std::strcmp(arg, "--store-token") == 0)
+            store_token = next_arg(i);
+        else if (std::strcmp(arg, "--store-token-file") == 0)
+            store_token_file = next_arg(i);
+        else if (std::strcmp(arg, "--marker-ttl") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            opts.ropts.markerTtlSeconds = std::strtod(value, &end);
+            if (end == value || opts.ropts.markerTtlSeconds <= 0.0) {
+                std::fprintf(stderr,
+                             "smtsweep-dist: --marker-ttl needs "
+                             "positive seconds, got \"%s\"\n",
+                             value);
+                return usage(2);
+            }
+        }
         else if (std::strcmp(arg, "--no-steal") == 0)
             opts.steal = false;
         else if (std::strcmp(arg, "--steal-wait") == 0) {
@@ -211,9 +239,13 @@ main(int argc, char **argv)
         }
     }
 
+    opts.ropts.storeToken =
+        sweep::resolveStoreToken(store_token, store_token_file);
+
     if (status_mode)
-        return dist::auditStore(opts.ropts.cacheDir, opts.ropts.verbose,
-                                json_path);
+        return dist::auditStore(opts.ropts.cacheDir,
+                                opts.ropts.storeToken,
+                                opts.ropts.verbose, json_path);
 
     if (experiment.empty()) {
         std::fprintf(stderr, "smtsweep-dist: no experiment named "

@@ -25,6 +25,7 @@
 #include "sweep/digest.hh"
 #include "sweep/experiments.hh"
 #include "sweep/result_cache.hh"
+#include "sweep/result_store.hh"
 #include "sweep/runner.hh"
 #include "sweep/thread_pool.hh"
 
@@ -42,11 +43,20 @@ usage(int code)
         "\n"
         "options:\n"
         "  --experiment NAME   experiment to run (repeatable)\n"
+        "  --list              list every experiment and exit\n"
+        "  --describe NAME     print an experiment's grid as JSON\n"
+        "                      (repeatable)\n"
         "  --cache-dir DIR     result cache directory (default\n"
         "                      $SMTSWEEP_CACHE or .smtsweep-cache)\n"
         "  --store-url URL     shared result store served by smtstore\n"
         "                      (http://host:port; same slot as\n"
         "                      --cache-dir)\n"
+        "  --store-token T     bearer token for a token-protected\n"
+        "                      store (prefer --store-token-file or\n"
+        "                      $SMTSTORE_TOKEN: argv is visible in ps)\n"
+        "  --store-token-file P  read the token's first line from P\n"
+        "  --marker-ttl S      in-progress marker lease seconds\n"
+        "                      (default 60; heartbeats refresh at S/3)\n"
         "  --no-cache          disable the result cache\n"
         "  --require-cached    fail on any cache miss\n"
         "  --json PATH         write a BENCH_sweep.json artifact\n"
@@ -65,7 +75,8 @@ usage(int code)
         "                      of dead shards via the store claim CAS\n"
         "  --steal-wait S      grace seconds to linger for orphans\n"
         "                      (default 10)\n"
-        "  --verbose           log per-point cache hits/misses\n");
+        "  --verbose           log per-point cache hits/misses\n"
+        "  --help, -h          print this help\n");
     return code;
 }
 
@@ -106,6 +117,7 @@ main(int argc, char **argv)
 
     std::vector<std::string> names;
     std::string json_path;
+    std::string store_token, store_token_file;
     smt::dist::ShardWorkerOptions wopts;
     unsigned shard_count = 0;
     bool list = false;
@@ -126,6 +138,22 @@ main(int argc, char **argv)
         else if (std::strcmp(arg, "--cache-dir") == 0
                  || std::strcmp(arg, "--store-url") == 0)
             ropts.cacheDir = next_arg(i);
+        else if (std::strcmp(arg, "--store-token") == 0)
+            store_token = next_arg(i);
+        else if (std::strcmp(arg, "--store-token-file") == 0)
+            store_token_file = next_arg(i);
+        else if (std::strcmp(arg, "--marker-ttl") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            ropts.markerTtlSeconds = std::strtod(value, &end);
+            if (end == value || ropts.markerTtlSeconds <= 0.0) {
+                std::fprintf(stderr,
+                             "smtsweep: --marker-ttl needs positive "
+                             "seconds, got \"%s\"\n",
+                             value);
+                return 2;
+            }
+        }
         else if (std::strcmp(arg, "--no-cache") == 0)
             ropts.cacheDir.clear();
         else if (std::strcmp(arg, "--require-cached") == 0)
@@ -200,6 +228,12 @@ main(int argc, char **argv)
             return usage(2);
         }
     }
+
+    // Token precedence: explicit flag, then file, then the
+    // environment (how a coordinator hands it to its workers without
+    // touching their argv).
+    ropts.storeToken =
+        resolveStoreToken(store_token, store_token_file);
 
     if (list) {
         for (const NamedExperiment &e : allExperiments())
