@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# check-simspeed.sh CURRENT.json [BASELINE.json] — the simspeed
+# regression gate CI runs.
+#
+# Compares per-shape tick throughput (cycles_per_sec) in CURRENT
+# against the committed baseline (default:
+# bench/BENCH_simspeed.baseline.json). A shape regresses when
+#
+#   current/baseline < SIMSPEED_MIN_RATIO   (default 0.9, i.e. a
+#                                            >10% throughput loss)
+#
+# Exits 1 if any shape regresses. Skips cleanly (exit 0) when:
+#  - the baseline file does not exist (fresh branch, no baseline yet);
+#  - the two files were measured on different hosts (the fingerprint
+#    field differs) — absolute throughput is not comparable across
+#    machines. Set SIMSPEED_IGNORE_HOST=1 to compare anyway.
+#
+# Shapes present in only one of the two files are reported but never
+# fail the gate, so adding or retiring a machine shape does not
+# require regenerating the baseline in the same commit.
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+current="${1:-}"
+baseline="${2:-$repo/bench/BENCH_simspeed.baseline.json}"
+min_ratio="${SIMSPEED_MIN_RATIO:-0.9}"
+
+if [ -z "$current" ]; then
+    echo "usage: check-simspeed.sh CURRENT.json [BASELINE.json]" >&2
+    exit 2
+fi
+if [ ! -f "$current" ]; then
+    echo "check-simspeed: current results not found: $current" >&2
+    exit 2
+fi
+if [ ! -f "$baseline" ]; then
+    echo "check-simspeed: no baseline at ${baseline#"$repo"/}; skipping."
+    exit 0
+fi
+
+python3 - "$current" "$baseline" "$min_ratio" <<'PY'
+import json
+import os
+import sys
+
+cur_path, base_path, min_ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+cur = json.load(open(cur_path))
+base = json.load(open(base_path))
+
+for doc, path in ((cur, cur_path), (base, base_path)):
+    if doc.get("schema") != "smt-simspeed-v1":
+        sys.exit(f"check-simspeed: {path}: unexpected schema "
+                 f"{doc.get('schema')!r} (want smt-simspeed-v1)")
+
+cur_host = cur.get("host", {}).get("fingerprint")
+base_host = base.get("host", {}).get("fingerprint")
+if cur_host != base_host and not os.environ.get("SIMSPEED_IGNORE_HOST"):
+    print(f"check-simspeed: host differs from baseline; skipping.\n"
+          f"  current:  {cur_host}\n  baseline: {base_host}")
+    sys.exit(0)
+
+cur_shapes = {s["name"]: s for s in cur.get("shapes", [])}
+base_shapes = {s["name"]: s for s in base.get("shapes", [])}
+
+failed = []
+print(f"{'shape':<20} {'baseline':>12} {'current':>12} {'ratio':>7}")
+for name in base_shapes:
+    if name not in cur_shapes:
+        print(f"{name:<20} {'(not measured this run)':>33}")
+        continue
+    b = base_shapes[name]["cycles_per_sec"]
+    c = cur_shapes[name]["cycles_per_sec"]
+    ratio = c / b if b > 0 else float("inf")
+    mark = ""
+    if ratio < min_ratio:
+        failed.append(name)
+        mark = f"  << regressed (>{(1 - min_ratio) * 100:.0f}% loss)"
+    print(f"{name:<20} {b:>12.0f} {c:>12.0f} {ratio:>7.2f}{mark}")
+for name in cur_shapes:
+    if name not in base_shapes:
+        print(f"{name:<20} {'(new shape, no baseline)':>33}")
+
+if failed:
+    print(f"\ncheck-simspeed: FAILED — {len(failed)} shape(s) below "
+          f"{min_ratio}x of baseline: {', '.join(failed)}")
+    sys.exit(1)
+print(f"\ncheck-simspeed: OK — no shape below {min_ratio}x of baseline.")
+PY

@@ -10,14 +10,20 @@ namespace smt
 
 SmtCore::SmtCore(const SmtConfig &cfg, MemoryHierarchy &mem,
                  BranchPredictor &bp, std::vector<ThreadProgram *> programs,
-                 SimStats &stats)
-    : state_(cfg, mem, bp, stats),
-      fetchPolicy_(policy::makeFetchPolicy(cfg)),
-      issuePolicy_(policy::makeIssuePolicy(cfg)),
-      squash_(state_), commit_(state_), execute_(state_),
-      issue_(state_, *issuePolicy_), rename_(state_), decode_(state_),
-      fetch_(state_, *fetchPolicy_)
+                 SimStats &stats, CoreDispatch dispatch)
+    : state_(cfg, mem, bp, stats)
 {
+    if (dispatch == CoreDispatch::Auto) {
+        const policy::CoreEngineFactory *make =
+            policy::PolicyRegistry::instance().findCoreEngine(
+                cfg.resolvedFetchPolicyName(),
+                cfg.resolvedIssuePolicyName());
+        if (make != nullptr)
+            engine_ = (*make)(state_);
+    }
+    if (!engine_)
+        engine_ = makeGenericEngine(state_, cfg);
+
     smt_assert(programs.size() == cfg.numThreads,
                "need one program per hardware context (%zu vs %u)",
                programs.size(), cfg.numThreads);
@@ -25,21 +31,6 @@ SmtCore::SmtCore(const SmtConfig &cfg, MemoryHierarchy &mem,
         state_.threads[t].program = programs[t];
         state_.threads[t].fetchPc = programs[t]->entryPc();
     }
-}
-
-void
-SmtCore::tick()
-{
-    squash_.tick();
-    commit_.tick();
-    execute_.tick();
-    issue_.tick();
-    rename_.tick();
-    decode_.tick();
-    fetch_.tick();
-    state_.sampleOccupancy();
-    ++state_.cycle;
-    ++state_.stats.cycles;
 }
 
 // --------------------------------------------------------------------------
@@ -132,9 +123,10 @@ SmtCore::debugDump() const
                      "thread %u: fetchPc=%llx readyAt=%llu frontEnd=%zu "
                      "rob=%zu count=%u wrongPath=%d\n",
                      t, static_cast<unsigned long long>(ts.fetchPc),
-                     static_cast<unsigned long long>(ts.fetchReadyAt),
+                     static_cast<unsigned long long>(
+                         state_.fetchReadyAt[t]),
                      ts.frontEnd.size(), ts.rob.size(),
-                     ts.frontAndQueueCount, ts.onWrongPath);
+                     state_.frontAndQueueCount[t], ts.onWrongPath);
         if (!ts.rob.empty())
             dump_inst("rob-head", ts.rob.front());
         if (!ts.frontEnd.empty())

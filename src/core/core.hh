@@ -3,13 +3,21 @@
  * SmtCore: the simultaneous multithreading pipeline of Section 2.
  *
  * The core is a thin composition root: it owns the shared
- * PipelineState, resolves the configured fetch/issue policies through
- * the PolicyRegistry once at construction, and wires up one stage
- * object per pipeline stage (src/core/stages/). tick() is the
+ * PipelineState and a CoreEngine (core/engine.hh) that runs the
  * back-to-front stage walk so each stage consumes state the previous
  * cycle produced:
  *   squash-apply -> commit -> execute -> issue -> rename/dispatch ->
  *   decode -> fetch
+ *
+ * The engine is chosen once at construction. For the paper's
+ * registered (fetch, issue) policy pairs, the PolicyRegistry dispatch
+ * table supplies a *specialized* engine whose fetch/issue stages are
+ * instantiated over the concrete policy classes — the per-thread
+ * priorityKey() and per-queue order() calls on the hot path resolve
+ * statically. Unknown pairs (plugin policies) take the *generic*
+ * engine, the same stage code dispatching through the policy vtables.
+ * Both engines are cycle-identical by construction; the golden-stats
+ * matrix test pins it.
  *
  * Pipeline shape (Figure 2b): fetch, decode, rename, queue, regread x2,
  * exec, regwrite, commit. An instruction issued at cycle t reaches the
@@ -29,19 +37,22 @@
 #include <memory>
 #include <vector>
 
+#include "core/engine.hh"
 #include "core/pipeline_state.hh"
-#include "core/stages/commit.hh"
-#include "core/stages/decode.hh"
-#include "core/stages/execute.hh"
-#include "core/stages/fetch.hh"
-#include "core/stages/issue.hh"
-#include "core/stages/rename_dispatch.hh"
-#include "core/stages/squash.hh"
 #include "policy/fetch_policy.hh"
 #include "policy/issue_policy.hh"
 
 namespace smt
 {
+
+/** How SmtCore picks its engine. */
+enum class CoreDispatch
+{
+    /** Specialized engine when the registry has one, else generic. */
+    Auto,
+    /** Always the virtual-dispatch engine (tests, A/B timing). */
+    ForceGeneric,
+};
 
 /** The SMT processor core. */
 class SmtCore
@@ -53,15 +64,28 @@ class SmtCore
      */
     SmtCore(const SmtConfig &cfg, MemoryHierarchy &mem,
             BranchPredictor &bp, std::vector<ThreadProgram *> programs,
-            SimStats &stats);
+            SimStats &stats, CoreDispatch dispatch = CoreDispatch::Auto);
 
-    // The stage objects hold references into state_: moving or copying
-    // a core would leave them aimed at the source object.
+    // The engine's stage objects hold references into state_: moving or
+    // copying a core would leave them aimed at the source object.
     SmtCore(const SmtCore &) = delete;
     SmtCore &operator=(const SmtCore &) = delete;
 
     /** Advance the machine one cycle. */
-    void tick();
+    void
+    tick()
+    {
+        engine_->tick();
+        endCycle();
+    }
+
+    /** tick() with per-stage wall-clock accumulation (benchmarks). */
+    void
+    tickTimed(StageTimes &out)
+    {
+        engine_->tickTimed(out);
+        endCycle();
+    }
 
     Cycle cycle() const { return state_.cycle; }
 
@@ -75,9 +99,23 @@ class SmtCore
     /** Live in-flight instruction count (liveness checks in tests). */
     std::size_t liveInstructions() const { return state_.pool.live(); }
 
+    /** Pool high-water mark (steady-state allocation audits). */
+    std::size_t poolAllocated() const { return state_.pool.allocated(); }
+
     /** The resolved policy objects (introspection for tests/tools). */
-    const policy::FetchPolicy &fetchPolicy() const { return *fetchPolicy_; }
-    const policy::IssuePolicy &issuePolicy() const { return *issuePolicy_; }
+    const policy::FetchPolicy &
+    fetchPolicy() const
+    {
+        return engine_->fetchPolicy();
+    }
+    const policy::IssuePolicy &
+    issuePolicy() const
+    {
+        return engine_->issuePolicy();
+    }
+
+    /** "specialized" or "generic" (introspection for tests/tools). */
+    const char *engineKind() const { return engine_->kind(); }
 
     /**
      * Check structural invariants (register conservation, program-order
@@ -89,20 +127,16 @@ class SmtCore
     void debugDump() const;
 
   private:
+    void
+    endCycle()
+    {
+        state_.sampleOccupancy();
+        ++state_.cycle;
+        ++state_.stats.cycles;
+    }
+
     PipelineState state_;
-
-    std::unique_ptr<policy::FetchPolicy> fetchPolicy_;
-    std::unique_ptr<policy::IssuePolicy> issuePolicy_;
-
-    // Stage objects, declared in tick() order (construction order
-    // matters only in that each stage takes state_ by reference).
-    SquashStage squash_;
-    CommitStage commit_;
-    ExecuteStage execute_;
-    IssueStage issue_;
-    RenameDispatchStage rename_;
-    DecodeStage decode_;
-    FetchStage fetch_;
+    std::unique_ptr<CoreEngine> engine_;
 };
 
 } // namespace smt

@@ -1,0 +1,108 @@
+#include "core/engine_impl.hh"
+
+#include "config/config.hh"
+#include "policy/fetch_policies.hh"
+#include "policy/issue_policies.hh"
+#include "policy/registry.hh"
+
+namespace smt
+{
+
+const char *
+StageTimes::stageName(unsigned stage)
+{
+    switch (stage) {
+      case Squash:
+        return "squash";
+      case Commit:
+        return "commit";
+      case Execute:
+        return "execute";
+      case Issue:
+        return "issue";
+      case Rename:
+        return "rename";
+      case Decode:
+        return "decode";
+      case Fetch:
+        return "fetch";
+      default:
+        return "?";
+    }
+}
+
+std::unique_ptr<CoreEngine>
+makeGenericEngine(PipelineState &st, const SmtConfig &cfg)
+{
+    return std::make_unique<
+        CoreEngineT<policy::FetchPolicy, policy::IssuePolicy>>(
+        st, policy::makeFetchPolicy(cfg), policy::makeIssuePolicy(cfg));
+}
+
+namespace
+{
+
+template <typename FP, typename IP>
+void
+addEngine(policy::PolicyRegistry &reg, const char *fetchName,
+          const char *issueName)
+{
+    reg.registerCoreEngine(
+        fetchName, issueName,
+        [](PipelineState &st) -> std::unique_ptr<CoreEngine> {
+            return std::make_unique<CoreEngineT<FP, IP>>(
+                st, std::make_unique<FP>(), std::make_unique<IP>());
+        });
+}
+
+} // namespace
+
+void
+registerBuiltinCoreEngines(policy::PolicyRegistry &reg)
+{
+    using namespace policy;
+    // Every fetch policy the paper sweeps, under the default issue
+    // policy (Section 5)...
+    addEngine<RoundRobinPolicy, OldestFirstPolicy>(reg, "RR",
+                                                   "OLDEST_FIRST");
+    addEngine<BrCountPolicy, OldestFirstPolicy>(reg, "BRCOUNT",
+                                                "OLDEST_FIRST");
+    addEngine<MissCountPolicy, OldestFirstPolicy>(reg, "MISSCOUNT",
+                                                  "OLDEST_FIRST");
+    addEngine<ICountPolicy, OldestFirstPolicy>(reg, "ICOUNT",
+                                               "OLDEST_FIRST");
+    addEngine<IQPosnPolicy, OldestFirstPolicy>(reg, "IQPOSN",
+                                               "OLDEST_FIRST");
+    addEngine<ICountMissCountPolicy, OldestFirstPolicy>(
+        reg, "ICOUNT+MISSCOUNT", "OLDEST_FIRST");
+    // ...and the issue-policy sweep, run under the winning fetch
+    // policy (Section 6).
+    addEngine<ICountPolicy, OptLastPolicy>(reg, "ICOUNT", "OPT_LAST");
+    addEngine<ICountPolicy, SpecLastPolicy>(reg, "ICOUNT", "SPEC_LAST");
+    addEngine<ICountPolicy, BranchFirstPolicy>(reg, "ICOUNT",
+                                               "BRANCH_FIRST");
+}
+
+// The specialized instantiations (one per registered pair above, plus
+// the generic virtual-dispatch engine). Keeping them here — rather
+// than implicit in every includer — keeps engine_impl.hh a
+// single-translation-unit header.
+template class CoreEngineT<policy::FetchPolicy, policy::IssuePolicy>;
+template class CoreEngineT<policy::RoundRobinPolicy,
+                           policy::OldestFirstPolicy>;
+template class CoreEngineT<policy::BrCountPolicy,
+                           policy::OldestFirstPolicy>;
+template class CoreEngineT<policy::MissCountPolicy,
+                           policy::OldestFirstPolicy>;
+template class CoreEngineT<policy::ICountPolicy,
+                           policy::OldestFirstPolicy>;
+template class CoreEngineT<policy::IQPosnPolicy,
+                           policy::OldestFirstPolicy>;
+template class CoreEngineT<policy::ICountMissCountPolicy,
+                           policy::OldestFirstPolicy>;
+template class CoreEngineT<policy::ICountPolicy, policy::OptLastPolicy>;
+template class CoreEngineT<policy::ICountPolicy, policy::SpecLastPolicy>;
+template class CoreEngineT<policy::ICountPolicy,
+                           policy::BranchFirstPolicy>;
+
+} // namespace smt

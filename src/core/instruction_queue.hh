@@ -55,12 +55,39 @@ class InstructionQueue
         queue_.resize(out);
     }
 
+    /**
+     * Fused release-and-search walk (the per-cycle issue scan): drop
+     * every entry satisfying `release`, and call `gather` on each kept
+     * entry whose *post-compaction* position falls inside the search
+     * window — one pass over the queue where removeIf + a window scan
+     * would take two.
+     */
+    template <typename ReleasePred, typename Gather>
+    void
+    releaseThenScan(ReleasePred release, std::size_t window, Gather gather)
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            DynInst *inst = queue_[i];
+            if (release(inst))
+                continue;
+            queue_[out] = inst;
+            if (out < window)
+                gather(inst);
+            ++out;
+        }
+        queue_.resize(out);
+    }
+
     /** The searchable (issuable) prefix length. */
     std::size_t
     searchLimit() const
     {
         return std::min<std::size_t>(queue_.size(), searchWindow_);
     }
+
+    /** The configured search-window size (BIGQ keeps this at 32). */
+    std::size_t searchWindow() const { return searchWindow_; }
 
     DynInst *at(std::size_t idx) const { return queue_[idx]; }
 

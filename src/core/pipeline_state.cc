@@ -70,9 +70,9 @@ PipelineState::dropFrontEndYounger(ThreadState &ts, const DynInst *from)
         DynInst *inst = ts.frontEnd.back();
         smt_assert(inst->seq > from->seq);
         ts.frontEnd.pop_back();
-        --ts.frontAndQueueCount;
+        --frontAndQueueCount[inst->tid];
         if (inst->isControl())
-            --ts.branchCount;
+            --branchCount[inst->tid];
         if (inst->streamIdx != kNoStreamIdx)
             min_dropped_stream = std::min(min_dropped_stream,
                                           inst->streamIdx);

@@ -14,8 +14,8 @@
 #ifndef SMT_CORE_PIPELINE_STATE_HH
 #define SMT_CORE_PIPELINE_STATE_HH
 
+#include <array>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "branch/predictor.hh"
@@ -30,7 +30,14 @@
 namespace smt
 {
 
-/** Per-hardware-context pipeline state. */
+/**
+ * Per-hardware-context pipeline state.
+ *
+ * Fields the per-cycle scans read for *every* thread (the ICOUNT /
+ * BRCOUNT counters, fetchReadyAt) do not live here: they sit in the
+ * structure-of-arrays lanes on PipelineState so a whole-machine scan
+ * touches a couple of cache lines instead of striding sizeof(ThreadState).
+ */
 struct ThreadState
 {
     ThreadProgram *program = nullptr;
@@ -38,10 +45,6 @@ struct ThreadState
     Addr fetchPc = 0;
     std::uint64_t nextStreamIdx = 0;
     bool onWrongPath = false;
-
-    /** Thread may not fetch again before this cycle (I-cache miss,
-     *  redirect bubble). */
-    Cycle fetchReadyAt = 0;
 
     /** Fetched but not yet renamed, in order (fetch/decode buffer). */
     std::deque<DynInst *> frontEnd;
@@ -55,11 +58,6 @@ struct ThreadState
 
     /** In-flight (renamed, unexecuted) stores, for disambiguation. */
     std::vector<DynInst *> pendingStores;
-
-    /** ICOUNT / BRCOUNT counters: instructions (branches) currently
-     *  in decode, rename, or an instruction queue. */
-    unsigned frontAndQueueCount = 0;
-    unsigned branchCount = 0;
 
     /** Pending mispredict squash (applied the cycle after exec). */
     DynInst *pendingSquash = nullptr;
@@ -103,8 +101,41 @@ struct PipelineState
     InstructionQueue intQueue;
     InstructionQueue fpQueue;
 
-    /** Issued, awaiting execute; bucketed by execute cycle. */
-    std::unordered_map<Cycle, std::vector<DynInst *>> execAt;
+    // ---- Structure-of-arrays hot lanes (one slot per thread) -----------
+    // The fetch-priority scan reads these for every thread every cycle
+    // (ICOUNT, BRCOUNT, the fetchable test); keeping them contiguous and
+    // cache-line-aligned makes that scan touch two lines, not one
+    // ThreadState-sized stride per thread.
+
+    /** ICOUNT counter: instructions currently in decode, rename, or an
+     *  instruction queue, per thread. */
+    alignas(64) std::array<unsigned, kMaxThreads> frontAndQueueCount{};
+
+    /** BRCOUNT counter: unresolved branches in decode/rename/IQ. */
+    std::array<unsigned, kMaxThreads> branchCount{};
+
+    /** Thread may not fetch again before this cycle (I-cache miss,
+     *  redirect bubble), per thread. */
+    std::array<Cycle, kMaxThreads> fetchReadyAt{};
+
+    /**
+     * Issued, awaiting execute; bucketed by execute cycle in a ring.
+     * Issue only ever schedules `execOffset` (<= 3) cycles ahead, so a
+     * small power-of-two ring replaces the per-cycle hash-map node
+     * churn of an unordered_map keyed by cycle.
+     */
+    static constexpr unsigned kExecRingSlots = 8;
+    static_assert((kExecRingSlots & (kExecRingSlots - 1)) == 0);
+    std::array<std::vector<DynInst *>, kExecRingSlots> execRing;
+
+    /** The execute bucket for cycle `c` (slots recycle every
+     *  kExecRingSlots cycles; a slot is always drained before reuse). */
+    std::vector<DynInst *> &
+    execBucket(Cycle c)
+    {
+        return execRing[c & (kExecRingSlots - 1)];
+    }
+
     /** Issued-but-not-executed, for optimistic-squash scans. */
     std::vector<DynInst *> inFlight;
 

@@ -56,8 +56,8 @@ DecodeStage::tick()
                                       best->rasCheckpoint);
                 best->nextFetchPc = expected;
                 ts.fetchPc = expected;
-                ts.fetchReadyAt = std::max(
-                    ts.fetchReadyAt,
+                st_.fetchReadyAt[best->tid] = std::max(
+                    st_.fetchReadyAt[best->tid],
                     st_.cycle + 1 + (st_.cfg.itagEarlyLookup ? 1 : 0));
                 if (!best->wrongPath) {
                     ts.nextStreamIdx = best->streamIdx + 1;

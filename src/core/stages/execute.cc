@@ -12,14 +12,17 @@ namespace smt
 void
 ExecuteStage::tick()
 {
-    auto it = st_.execAt.find(st_.cycle);
-    if (it == st_.execAt.end())
+    std::vector<DynInst *> &slot = st_.execBucket(st_.cycle);
+    if (slot.empty())
         return;
-    // Move the bucket out: execution never schedules into the current
-    // cycle, so this container is stable while we work through it.
-    std::vector<DynInst *> bucket = std::move(it->second);
-    st_.execAt.erase(it);
-    for (DynInst *inst : bucket)
+    // Swap the bucket out of the ring: execution never schedules into
+    // the current cycle (every issue lands execOffset >= 2 ahead, and a
+    // load's dependents issue strictly after it), so this container is
+    // stable while we work through it. The swap ping-pongs the two
+    // vectors' capacities — no steady-state allocation.
+    bucket_.clear();
+    bucket_.swap(slot);
+    for (DynInst *inst : bucket_)
         executeInst(inst);
 }
 
@@ -27,7 +30,14 @@ void
 ExecuteStage::executeInst(DynInst *inst)
 {
     smt_assert(inst->stage == InstStage::Issued);
-    std::erase(st_.inFlight, inst);
+    // Swap-remove: inFlight is an unordered membership set (the
+    // requeue cascade visits every element regardless of position), so
+    // the tail shift of an ordered erase buys nothing.
+    auto it = std::find(st_.inFlight.begin(), st_.inFlight.end(), inst);
+    if (it != st_.inFlight.end()) {
+        *it = st_.inFlight.back();
+        st_.inFlight.pop_back();
+    }
 
     if (inst->isLoad()) {
         executeLoad(inst);
@@ -60,7 +70,7 @@ ExecuteStage::executeLoad(DynInst *inst)
         // wakeup are squashed.
         inst->stage = InstStage::InQueue;
         inst->iqReleaseCycle = kCycleNever;
-        ++st_.threads[inst->tid].frontAndQueueCount;
+        ++st_.frontAndQueueCount[inst->tid];
         rf.setReadyAt(dest, kCycleNever);
         rf.setUnverifiedUntil(dest, 0);
         requeueDependents(inst->si->dest.file, dest);
@@ -93,7 +103,7 @@ ExecuteStage::executeStore(DynInst *inst)
     if (r.bankConflict) {
         inst->stage = InstStage::InQueue;
         inst->iqReleaseCycle = kCycleNever;
-        ++st_.threads[inst->tid].frontAndQueueCount;
+        ++st_.frontAndQueueCount[inst->tid];
         return;
     }
     inst->stage = InstStage::Executed;
@@ -140,10 +150,11 @@ ExecuteStage::requeueDependents(RegFile f, PhysRegIndex reg)
     // source is no longer ready by its issue cycle was issued on a stale
     // optimistic wakeup and returns to its queue (a wasted issue slot —
     // the "squashed optimistic instruction" of Section 6).
-    std::vector<std::pair<RegFile, PhysRegIndex>> work{{f, reg}};
-    while (!work.empty()) {
-        const auto [wf, wreg] = work.back();
-        work.pop_back();
+    requeueWork_.clear();
+    requeueWork_.emplace_back(f, reg);
+    while (!requeueWork_.empty()) {
+        const auto [wf, wreg] = requeueWork_.back();
+        requeueWork_.pop_back();
         RegisterFileState &rf = st_.file(wf);
         for (std::size_t i = 0; i < st_.inFlight.size();) {
             DynInst *inst = st_.inFlight[i];
@@ -158,23 +169,28 @@ ExecuteStage::requeueDependents(RegFile f, PhysRegIndex reg)
                 ++i;
                 continue;
             }
-            // Squash this issue: back to the queue.
+            // Squash this issue: back to the queue. The victim always
+            // sits in a *future* exec bucket (a dependent issues
+            // strictly after its producer), never the one tick() is
+            // draining right now.
+            smt_assert(inst->issueCycle + st_.execOffset > st_.cycle);
             ++st_.stats.optimisticSquashes;
             st_.inFlight[i] = st_.inFlight.back();
             st_.inFlight.pop_back();
-            auto bucket = st_.execAt.find(inst->issueCycle + st_.execOffset);
-            smt_assert(bucket != st_.execAt.end());
-            std::erase(bucket->second, inst);
+            std::vector<DynInst *> &bucket =
+                st_.execBucket(inst->issueCycle + st_.execOffset);
+            std::erase(bucket, inst);
             inst->stage = InstStage::InQueue;
             inst->iqReleaseCycle = kCycleNever;
-            ++st_.threads[inst->tid].frontAndQueueCount;
+            ++st_.frontAndQueueCount[inst->tid];
             if (inst->isControl())
-                ++st_.threads[inst->tid].branchCount;
+                ++st_.branchCount[inst->tid];
             if (inst->si->dest.valid()) {
                 RegisterFileState &drf = st_.file(inst->si->dest.file);
                 drf.setReadyAt(inst->destPhys, kCycleNever);
                 drf.setUnverifiedUntil(inst->destPhys, 0);
-                work.emplace_back(inst->si->dest.file, inst->destPhys);
+                requeueWork_.emplace_back(inst->si->dest.file,
+                                          inst->destPhys);
             }
         }
     }

@@ -8,6 +8,9 @@
 #ifndef SMT_CORE_STAGES_EXECUTE_HH
 #define SMT_CORE_STAGES_EXECUTE_HH
 
+#include <utility>
+#include <vector>
+
 #include "core/pipeline_state.hh"
 
 namespace smt
@@ -31,6 +34,13 @@ class ExecuteStage
     void requeueDependents(RegFile file, PhysRegIndex reg);
 
     PipelineState &st_;
+
+    // Per-cycle scratch, hoisted so the steady-state walk never
+    // allocates: the drained bucket (swapped out of the exec ring so
+    // requeueDependents can edit future buckets while we iterate) and
+    // the repair cascade's work list.
+    std::vector<DynInst *> bucket_;
+    std::vector<std::pair<RegFile, PhysRegIndex>> requeueWork_;
 };
 
 } // namespace smt

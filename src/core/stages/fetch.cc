@@ -3,28 +3,23 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "policy/fetch_policies.hh"
 
 namespace smt
 {
 
-void
-FetchStage::selectFetchThreads(std::vector<ThreadID> &out)
+template <typename Policy>
+unsigned
+FetchStage<Policy>::selectFetchThreads()
 {
-    struct Cand
-    {
-        double key;
-        unsigned rr;
-        ThreadID tid;
-    };
-    std::vector<Cand> cands;
-    cands.reserve(st_.numThreads);
+    unsigned num_cands = 0;
 
     policy_.beginCycle(st_);
 
     for (unsigned t = 0; t < st_.numThreads; ++t) {
         const ThreadID tid = static_cast<ThreadID>(t);
         ThreadState &ts = st_.threads[t];
-        if (ts.fetchReadyAt > st_.cycle)
+        if (st_.fetchReadyAt[t] > st_.cycle)
             continue;
         if (ts.frontEnd.size() + st_.cfg.fetchPerThread > st_.frontEndCap) {
             ++st_.stats.fetchBlockedIQFull;
@@ -38,37 +33,36 @@ FetchStage::selectFetchThreads(std::vector<ThreadID> &out)
             // start now while another thread takes the fetch slot.
             const auto r = st_.mem.fetchAccess(tid, ts.fetchPc, st_.cycle);
             if (!r.bankConflict && r.ready > st_.cycle)
-                ts.fetchReadyAt = r.ready;
+                st_.fetchReadyAt[t] = r.ready;
             continue;
         }
         const unsigned rr =
             (t + st_.numThreads - st_.rrBase) % st_.numThreads;
-        cands.push_back({policy_.priorityKey(st_, tid), rr, tid});
+        cands_[num_cands++] = {policy_.priorityKey(st_, tid), rr, tid};
     }
 
-    std::sort(cands.begin(), cands.end(), [](const Cand &a, const Cand &b) {
-        if (a.key != b.key)
-            return a.key < b.key;
-        return a.rr < b.rr;
-    });
+    sortFetchCandidates(cands_.data(), num_cands);
 
     // Take up to fetchThreads threads, skipping I-cache bank conflicts
     // against already chosen ones.
-    std::vector<unsigned> banks;
-    for (const Cand &c : cands) {
-        if (out.size() >= st_.cfg.fetchThreads)
+    unsigned num_selected = 0;
+    for (unsigned c = 0; c < num_cands; ++c) {
+        if (num_selected >= st_.cfg.fetchThreads)
             break;
-        const unsigned bank =
-            st_.mem.icacheBank(st_.threads[c.tid].fetchPc);
-        if (std::find(banks.begin(), banks.end(), bank) != banks.end())
+        const ThreadID tid = cands_[c].tid;
+        const unsigned bank = st_.mem.icacheBank(st_.threads[tid].fetchPc);
+        const auto banks_end = banks_.begin() + num_selected;
+        if (std::find(banks_.begin(), banks_end, bank) != banks_end)
             continue;
-        banks.push_back(bank);
-        out.push_back(c.tid);
+        banks_[num_selected] = bank;
+        selected_[num_selected++] = tid;
     }
+    return num_selected;
 }
 
+template <typename Policy>
 DynInst *
-FetchStage::buildInst(ThreadState &ts, ThreadID tid, Addr pc)
+FetchStage<Policy>::buildInst(ThreadState &ts, ThreadID tid, Addr pc)
 {
     const StaticInst *si = ts.program->image().at(pc);
     smt_assert(si != nullptr);
@@ -100,8 +94,9 @@ FetchStage::buildInst(ThreadState &ts, ThreadID tid, Addr pc)
     return inst;
 }
 
+template <typename Policy>
 unsigned
-FetchStage::fetchFromThread(ThreadID tid, unsigned max_insts)
+FetchStage<Policy>::fetchFromThread(ThreadID tid, unsigned max_insts)
 {
     ThreadState &ts = st_.threads[tid];
     Addr pc = ts.fetchPc;
@@ -141,9 +136,9 @@ FetchStage::fetchFromThread(ThreadID tid, unsigned max_insts)
         }
 
         ts.frontEnd.push_back(inst);
-        ++ts.frontAndQueueCount;
+        ++st_.frontAndQueueCount[tid];
         if (inst->isControl())
-            ++ts.branchCount;
+            ++st_.branchCount[tid];
         ++st_.stats.fetchedInstructions;
         if (inst->wrongPath)
             ++st_.stats.fetchedWrongPath;
@@ -156,14 +151,15 @@ FetchStage::fetchFromThread(ThreadID tid, unsigned max_insts)
     return fetched;
 }
 
+template <typename Policy>
 void
-FetchStage::tick()
+FetchStage<Policy>::tick()
 {
-    std::vector<ThreadID> selected;
-    selectFetchThreads(selected);
+    const unsigned num_selected = selectFetchThreads();
 
     unsigned total = 0;
-    for (ThreadID tid : selected) {
+    for (unsigned s = 0; s < num_selected; ++s) {
+        const ThreadID tid = selected_[s];
         if (total >= st_.cfg.fetchWidth)
             break;
         ThreadState &ts = st_.threads[tid];
@@ -175,7 +171,7 @@ FetchStage::tick()
             continue; // lost the bank to fill traffic this cycle.
         if (r.ready > st_.cycle) {
             // I-cache (or ITLB) miss: the thread stalls while it fills.
-            ts.fetchReadyAt = r.ready;
+            st_.fetchReadyAt[tid] = r.ready;
             continue;
         }
         total += fetchFromThread(tid, budget);
@@ -185,5 +181,16 @@ FetchStage::tick()
     if (total == 0)
         ++st_.stats.fetchCyclesIdle;
 }
+
+// One instantiation per dispatch mode: the abstract base (generic
+// virtual-dispatch core) and each registered paper policy (the
+// specialized cores the PolicyRegistry dispatch table selects).
+template class FetchStage<policy::FetchPolicy>;
+template class FetchStage<policy::RoundRobinPolicy>;
+template class FetchStage<policy::BrCountPolicy>;
+template class FetchStage<policy::MissCountPolicy>;
+template class FetchStage<policy::ICountPolicy>;
+template class FetchStage<policy::IQPosnPolicy>;
+template class FetchStage<policy::ICountMissCountPolicy>;
 
 } // namespace smt

@@ -3,12 +3,20 @@
  * FetchStage: per-cycle thread selection (delegated to the configured
  * FetchPolicy) and instruction fetch from the selected threads'
  * code images (Sections 4 and 5).
+ *
+ * The stage is a template over the policy type. Instantiated with the
+ * abstract policy::FetchPolicy, every priorityKey()/beginCycle() call
+ * dispatches virtually (the plugin-policy fallback); instantiated with
+ * a concrete `final` policy class, the calls resolve statically and
+ * inline into the selection loop (the specialized paper-policy cores
+ * built by the PolicyRegistry dispatch table). Both instantiations run
+ * the same statements, so they are cycle-identical by construction.
  */
 
 #ifndef SMT_CORE_STAGES_FETCH_HH
 #define SMT_CORE_STAGES_FETCH_HH
 
-#include <vector>
+#include <array>
 
 #include "core/pipeline_state.hh"
 #include "policy/fetch_policy.hh"
@@ -16,26 +24,65 @@
 namespace smt
 {
 
-/** Fetch stage. */
+/** One fetch-selection candidate (a fetchable thread this cycle). */
+struct FetchCandidate
+{
+    double key;  ///< policy priority, lower first.
+    unsigned rr; ///< round-robin rank, breaks key ties.
+    ThreadID tid;
+};
+
+/**
+ * Order candidates by (key, rr) ascending with a binary insertion
+ * sort: N is at most kMaxThreads (8), where the branch-lean shifted
+ * insert beats std::sort's introsort setup every cycle. The (key, rr)
+ * pair is a strict total order over candidates (rr ranks are unique),
+ * so the result is independent of the input permutation.
+ */
+inline void
+sortFetchCandidates(FetchCandidate *cands, unsigned n)
+{
+    for (unsigned i = 1; i < n; ++i) {
+        const FetchCandidate c = cands[i];
+        unsigned j = i;
+        while (j > 0 && (c.key < cands[j - 1].key ||
+                         (c.key == cands[j - 1].key &&
+                          c.rr < cands[j - 1].rr))) {
+            cands[j] = cands[j - 1];
+            --j;
+        }
+        cands[j] = c;
+    }
+}
+
+/** Fetch stage. `Policy` is policy::FetchPolicy (virtual dispatch) or a
+ *  concrete final policy class (static dispatch). */
+template <typename Policy>
 class FetchStage
 {
   public:
-    FetchStage(PipelineState &st, policy::FetchPolicy &pol)
-        : st_(st), policy_(pol)
-    {
-    }
+    FetchStage(PipelineState &st, Policy &pol) : st_(st), policy_(pol) {}
 
     void tick();
 
   private:
     /** Priority-ordered candidate thread list for this cycle. */
-    void selectFetchThreads(std::vector<ThreadID> &out);
+    unsigned selectFetchThreads();
     unsigned fetchFromThread(ThreadID tid, unsigned max_insts);
     DynInst *buildInst(ThreadState &ts, ThreadID tid, Addr pc);
 
     PipelineState &st_;
-    policy::FetchPolicy &policy_;
+    Policy &policy_;
+
+    // Per-cycle scratch, sized to the machine maximum so the fetch
+    // walk never touches the heap.
+    std::array<FetchCandidate, kMaxThreads> cands_;
+    std::array<ThreadID, kMaxThreads> selected_;
+    std::array<unsigned, kMaxThreads> banks_;
 };
+
+// The template is instantiated explicitly in fetch.cc for the abstract
+// policy and each registered paper policy.
 
 } // namespace smt
 

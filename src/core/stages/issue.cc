@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "isa/latency.hh"
+#include "policy/issue_policies.hh"
 
 namespace smt
 {
 
+template <typename Policy>
 bool
-IssueStage::issueAllowedBySpeculationMode(const DynInst *inst) const
+IssueStage<Policy>::issueAllowedBySpeculationMode(const DynInst *inst) const
 {
     if (st_.cfg.speculation == SpeculationMode::Full)
         return true;
@@ -31,8 +33,9 @@ IssueStage::issueAllowedBySpeculationMode(const DynInst *inst) const
     return true;
 }
 
+template <typename Policy>
 bool
-IssueStage::loadDisambiguated(const DynInst *inst) const
+IssueStage<Policy>::loadDisambiguated(const DynInst *inst) const
 {
     const Addr mask = (Addr{1} << st_.cfg.disambiguationBits) - 1;
     for (const DynInst *st : st_.threads[inst->tid].pendingStores) {
@@ -43,37 +46,44 @@ IssueStage::loadDisambiguated(const DynInst *inst) const
     return true;
 }
 
+template <typename Policy>
 void
-IssueStage::collectCandidates(InstructionQueue &queue,
-                              std::vector<DynInst *> &out)
+IssueStage<Policy>::collectCandidates(InstructionQueue &queue,
+                                      std::vector<DynInst *> &out)
 {
-    // First release the entries whose hold time expired (issued
+    // One walk: release the entries whose hold time expired (issued
     // instructions vacate a cycle after issue; optimistically issued
-    // ones once verified; loads once their access actually happened).
-    queue.removeIf([&](DynInst *i) {
-        return i->stage != InstStage::InQueue &&
-               i->iqReleaseCycle <= st_.cycle;
-    });
-
-    const std::size_t limit = queue.searchLimit();
-    for (std::size_t i = 0; i < limit; ++i) {
-        DynInst *inst = queue.at(i);
-        if (inst->stage != InstStage::InQueue)
-            continue;
-        if (inst->renameCycle >= st_.cycle)
-            continue; // entered the queue this cycle.
-        if (!issueAllowedBySpeculationMode(inst))
-            continue;
-        if (inst->isLoad() && !loadDisambiguated(inst))
-            continue;
-        out.push_back(inst);
-    }
+    // ones once verified; loads once their access actually happened)
+    // and gather this cycle's issuable candidates from the search
+    // window.
+    //
+    // Readiness is deliberately NOT checked here: a zero-latency
+    // producer (Compare, Table 1) issuing earlier in this same tick
+    // makes its dependents ready within the cycle, so the readiness
+    // test must stay in the issue loop, after the policy ordering.
+    queue.releaseThenScan(
+        [&](const DynInst *i) {
+            return i->stage != InstStage::InQueue &&
+                   i->iqReleaseCycle <= st_.cycle;
+        },
+        queue.searchWindow(),
+        [&](DynInst *inst) {
+            if (inst->stage != InstStage::InQueue)
+                return;
+            if (inst->renameCycle >= st_.cycle)
+                return; // entered the queue this cycle.
+            if (!issueAllowedBySpeculationMode(inst))
+                return;
+            if (inst->isLoad() && !loadDisambiguated(inst))
+                return;
+            out.push_back(inst);
+        });
 }
 
+template <typename Policy>
 void
-IssueStage::issueInst(DynInst *inst)
+IssueStage<Policy>::issueInst(DynInst *inst)
 {
-    ThreadState &ts = st_.threads[inst->tid];
     inst->stage = InstStage::Issued;
     inst->issueCycle = st_.cycle;
     inst->optimistic = st_.isOptimisticNow(inst);
@@ -115,16 +125,17 @@ IssueStage::issueInst(DynInst *inst)
                                               // verify.
     inst->iqReleaseCycle = release;
 
-    st_.execAt[st_.cycle + st_.execOffset].push_back(inst);
+    st_.execBucket(st_.cycle + st_.execOffset).push_back(inst);
     st_.inFlight.push_back(inst);
 
-    --ts.frontAndQueueCount;
+    --st_.frontAndQueueCount[inst->tid];
     if (inst->isControl())
-        --ts.branchCount;
+        --st_.branchCount[inst->tid];
 }
 
+template <typename Policy>
 void
-IssueStage::tick()
+IssueStage<Policy>::tick()
 {
     const unsigned big = 1u << 20;
     unsigned int_units =
@@ -134,12 +145,10 @@ IssueStage::tick()
     unsigned fp_units =
         st_.cfg.infiniteFunctionalUnits ? big : st_.cfg.fpUnits;
 
-    std::vector<DynInst *> cands;
-    cands.reserve(64);
-
-    collectCandidates(st_.intQueue, cands);
-    policy_.order(st_, cands);
-    for (DynInst *inst : cands) {
+    cands_.clear();
+    collectCandidates(st_.intQueue, cands_);
+    policy_.order(st_, cands_);
+    for (DynInst *inst : cands_) {
         if (int_units == 0)
             break;
         if (inst->si->isMemory() && ls_units == 0)
@@ -152,10 +161,10 @@ IssueStage::tick()
         issueInst(inst);
     }
 
-    cands.clear();
-    collectCandidates(st_.fpQueue, cands);
-    policy_.order(st_, cands);
-    for (DynInst *inst : cands) {
+    cands_.clear();
+    collectCandidates(st_.fpQueue, cands_);
+    policy_.order(st_, cands_);
+    for (DynInst *inst : cands_) {
         if (fp_units == 0)
             break;
         if (!st_.operandsReady(inst))
@@ -164,5 +173,14 @@ IssueStage::tick()
         issueInst(inst);
     }
 }
+
+// One instantiation per dispatch mode: the abstract base (generic
+// virtual-dispatch core) and each registered paper policy (the
+// specialized cores the PolicyRegistry dispatch table selects).
+template class IssueStage<policy::IssuePolicy>;
+template class IssueStage<policy::OldestFirstPolicy>;
+template class IssueStage<policy::OptLastPolicy>;
+template class IssueStage<policy::SpecLastPolicy>;
+template class IssueStage<policy::BranchFirstPolicy>;
 
 } // namespace smt

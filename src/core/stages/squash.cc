@@ -34,18 +34,18 @@ SquashStage::squashThread(ThreadID tid, DynInst *branch)
     while (!ts.frontEnd.empty()) {
         DynInst *inst = ts.frontEnd.back();
         ts.frontEnd.pop_back();
-        --ts.frontAndQueueCount;
+        --st_.frontAndQueueCount[tid];
         if (inst->isControl())
-            --ts.branchCount;
+            --st_.branchCount[tid];
         st_.pool.release(inst);
     }
 
     // Unwind the ROB youngest-first down to (not including) the branch.
-    std::vector<DynInst *> squashed;
+    squashed_.clear();
     while (!ts.rob.empty() && ts.rob.back()->seq > branch->seq) {
         DynInst *inst = ts.rob.back();
         ts.rob.pop_back();
-        squashed.push_back(inst);
+        squashed_.push_back(inst);
 
         if (inst->si->dest.valid()) {
             st_.file(inst->si->dest.file)
@@ -53,29 +53,30 @@ SquashStage::squashThread(ThreadID tid, DynInst *branch)
                           inst->destPrevPhys);
         }
         if (inst->stage == InstStage::InQueue)
-            --ts.frontAndQueueCount;
+            --st_.frontAndQueueCount[tid];
         if (inst->stage == InstStage::InQueue && inst->isControl())
-            --ts.branchCount;
+            --st_.branchCount[tid];
     }
 
     // Purge the squashed set from every secondary structure.
-    if (!squashed.empty()) {
+    if (!squashed_.empty()) {
         auto is_squashed = [&](const DynInst *i) {
             return i->tid == tid && i->seq > branch->seq;
         };
         st_.intQueue.removeIf(is_squashed);
         st_.fpQueue.removeIf(is_squashed);
         std::erase_if(st_.inFlight, is_squashed);
-        for (auto &[when, bucket] : st_.execAt) {
-            if (when >= st_.cycle)
-                std::erase_if(bucket, is_squashed);
-        }
+        // Exec-ring slots for past cycles have been drained, so a
+        // sweep over all slots touches exactly the still-pending
+        // buckets the cycle-keyed map used to.
+        for (std::vector<DynInst *> &bucket : st_.execRing)
+            std::erase_if(bucket, is_squashed);
         std::erase_if(ts.unresolvedBranches, is_squashed);
         std::erase_if(ts.pendingStores, is_squashed);
         if (ts.pendingSquash != nullptr &&
             ts.pendingSquash->seq > branch->seq)
             ts.pendingSquash = nullptr;
-        for (DynInst *inst : squashed)
+        for (DynInst *inst : squashed_)
             st_.pool.release(inst);
     }
 
@@ -86,9 +87,9 @@ SquashStage::squashThread(ThreadID tid, DynInst *branch)
     ts.nextStreamIdx = branch->streamIdx + 1;
     ts.onWrongPath = false;
     ts.fetchPc = branch->actualNextPc;
-    ts.fetchReadyAt = std::max(ts.fetchReadyAt,
-                               st_.cycle +
-                                   (st_.cfg.itagEarlyLookup ? 1 : 0));
+    st_.fetchReadyAt[tid] =
+        std::max(st_.fetchReadyAt[tid],
+                 st_.cycle + (st_.cfg.itagEarlyLookup ? 1 : 0));
 }
 
 } // namespace smt

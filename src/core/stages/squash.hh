@@ -7,6 +7,8 @@
 #ifndef SMT_CORE_STAGES_SQUASH_HH
 #define SMT_CORE_STAGES_SQUASH_HH
 
+#include <vector>
+
 #include "core/pipeline_state.hh"
 
 namespace smt
@@ -26,6 +28,9 @@ class SquashStage
     void squashThread(ThreadID tid, DynInst *branch);
 
     PipelineState &st_;
+
+    /** ROB-unwind scratch (hoisted: squashes allocate nothing). */
+    std::vector<DynInst *> squashed_;
 };
 
 } // namespace smt

@@ -1,107 +1,12 @@
 #include "policy/issue_policy.hh"
 
-#include <algorithm>
 #include <memory>
 
-#include "core/pipeline_state.hh"
+#include "policy/issue_policies.hh"
 #include "policy/registry.hh"
 
 namespace smt::policy
 {
-namespace
-{
-
-/** OLDEST_FIRST: deepest-in-queue (lowest sequence number) first. */
-class OldestFirstPolicy final : public IssuePolicy
-{
-  public:
-    const char *name() const override { return "OLDEST_FIRST"; }
-
-    void
-    order(const PipelineState &,
-          std::vector<DynInst *> &cands) const override
-    {
-        std::sort(cands.begin(), cands.end(),
-                  [](const DynInst *a, const DynInst *b) {
-                      return a->seq < b->seq;
-                  });
-    }
-};
-
-/** OPT_LAST: dependents of unverified (optimistic) load hits last. */
-class OptLastPolicy final : public IssuePolicy
-{
-  public:
-    const char *name() const override { return "OPT_LAST"; }
-
-    void
-    order(const PipelineState &st,
-          std::vector<DynInst *> &cands) const override
-    {
-        std::sort(cands.begin(), cands.end(),
-                  [&st](const DynInst *a, const DynInst *b) {
-                      const bool oa = st.isOptimisticNow(a);
-                      const bool ob = st.isOptimisticNow(b);
-                      if (oa != ob)
-                          return !oa;
-                      return a->seq < b->seq;
-                  });
-    }
-};
-
-/** SPEC_LAST: instructions behind an unresolved same-thread branch
- *  last. */
-class SpecLastPolicy final : public IssuePolicy
-{
-  public:
-    const char *name() const override { return "SPEC_LAST"; }
-
-    void
-    order(const PipelineState &st,
-          std::vector<DynInst *> &cands) const override
-    {
-        auto speculative = [&st](const DynInst *inst) {
-            for (const DynInst *br :
-                 st.threads[inst->tid].unresolvedBranches) {
-                if (br->seq < inst->seq &&
-                    br->stage != InstStage::Executed)
-                    return true;
-            }
-            return false;
-        };
-        std::sort(cands.begin(), cands.end(),
-                  [&](const DynInst *a, const DynInst *b) {
-                      const bool sa = speculative(a);
-                      const bool sb = speculative(b);
-                      if (sa != sb)
-                          return !sa;
-                      return a->seq < b->seq;
-                  });
-    }
-};
-
-/** BRANCH_FIRST: branches as early as possible. */
-class BranchFirstPolicy final : public IssuePolicy
-{
-  public:
-    const char *name() const override { return "BRANCH_FIRST"; }
-
-    void
-    order(const PipelineState &,
-          std::vector<DynInst *> &cands) const override
-    {
-        std::sort(cands.begin(), cands.end(),
-                  [](const DynInst *a, const DynInst *b) {
-                      const bool ca = a->isControl();
-                      const bool cb = b->isControl();
-                      if (ca != cb)
-                          return ca;
-                      return a->seq < b->seq;
-                  });
-    }
-};
-
-} // namespace
 
 void
 registerBuiltinIssuePolicies(PolicyRegistry &reg)

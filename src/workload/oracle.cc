@@ -20,27 +20,39 @@ ThreadProgram::ThreadProgram(const CodeImage &image, std::uint64_t seed)
 {
 }
 
-const OracleEntry &
+OracleEntry
 ThreadProgram::entryAt(std::uint64_t idx)
 {
     smt_assert(idx >= base_, "stream index %llu already retired (base %llu)",
                static_cast<unsigned long long>(idx),
                static_cast<unsigned long long>(base_));
     while (headIndex() <= idx) {
-        smt_assert(ring_.size() < kMaxLiveEntries,
+        smt_assert(count_ < kMaxLiveEntries,
                    "oracle ring overflow: pipeline liveness bug?");
         step();
     }
-    return ring_[idx - base_];
+    return ringAt(idx);
 }
 
 void
 ThreadProgram::retireBefore(std::uint64_t idx)
 {
-    while (base_ < idx && !ring_.empty()) {
-        ring_.pop_front();
+    while (base_ < idx && count_ > 0) {
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
         ++base_;
     }
+}
+
+void
+ThreadProgram::growRing()
+{
+    const std::size_t cap = buf_.empty() ? 1024 : buf_.size() * 2;
+    std::vector<OracleEntry> next(cap);
+    for (std::size_t i = 0; i < count_; ++i)
+        next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    buf_ = std::move(next);
+    head_ = 0;
 }
 
 void
@@ -116,7 +128,10 @@ ThreadProgram::step()
     }
 
     pc_ = e.nextPc;
-    ring_.push_back(e);
+    if (count_ == buf_.size())
+        growRing();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = e;
+    ++count_;
 }
 
 } // namespace smt

@@ -15,8 +15,8 @@
 #define SMT_WORKLOAD_ORACLE_HH
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -43,8 +43,10 @@ class ThreadProgram
     ThreadProgram(const CodeImage &image, std::uint64_t seed);
 
     /** The entry with the given absolute stream index (generates lazily).
-     *  Indices start at 0 with the first instruction of main(). */
-    const OracleEntry &entryAt(std::uint64_t idx);
+     *  Indices start at 0 with the first instruction of main().
+     *  Returned by value: the backing ring relocates when it grows, so
+     *  references into it would not survive the next entryAt() call. */
+    OracleEntry entryAt(std::uint64_t idx);
 
     /** Discard entries with index < idx (they can never be re-fetched:
      *  only call with the index following the last *committed* one). */
@@ -57,7 +59,7 @@ class ThreadProgram
     std::uint64_t
     headIndex() const
     {
-        return base_ + ring_.size();
+        return base_ + count_;
     }
 
     Addr entryPc() const { return image_.entryPc(); }
@@ -65,6 +67,15 @@ class ThreadProgram
 
   private:
     void step();
+
+    /** Grow the circular buffer (relinearizing the live entries). */
+    void growRing();
+
+    const OracleEntry &
+    ringAt(std::uint64_t idx) const
+    {
+        return buf_[(head_ + (idx - base_)) & (buf_.size() - 1)];
+    }
 
     const CodeImage &image_;
     Rng rng_;
@@ -74,7 +85,14 @@ class ThreadProgram
     std::unordered_map<std::uint32_t, std::uint64_t> loopTripsLeft_;
     std::unordered_map<std::uint32_t, std::uint64_t> memInstance_;
 
-    std::deque<OracleEntry> ring_;
+    // Circular buffer of live entries [base_, base_ + count_). The
+    // capacity is a power of two and only ever grows, so once the
+    // in-flight window hits its high-water mark the oracle allocates
+    // nothing more (a deque here churns a block allocation every
+    // ~few-hundred instructions, on the fetch hot path).
+    std::vector<OracleEntry> buf_;
+    std::size_t head_ = 0;  ///< buffer offset of entry base_.
+    std::size_t count_ = 0; ///< live entries.
     std::uint64_t base_ = 0;
 };
 

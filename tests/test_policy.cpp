@@ -131,17 +131,17 @@ TEST(PolicyRegistry, CustomPolicyRunsASimulation)
 TEST_F(PolicyStateTest, RoundRobinRanksAllThreadsEqual)
 {
     auto p = fetchPolicy("RR");
-    state_.threads[0].frontAndQueueCount = 12;
-    state_.threads[1].frontAndQueueCount = 0;
+    state_.frontAndQueueCount[0] = 12;
+    state_.frontAndQueueCount[1] = 0;
     EXPECT_EQ(p->priorityKey(state_, 0), p->priorityKey(state_, 1));
 }
 
 TEST_F(PolicyStateTest, ICountPrefersThreadWithFewestInstructions)
 {
     auto p = fetchPolicy("ICOUNT");
-    state_.threads[0].frontAndQueueCount = 7;
-    state_.threads[1].frontAndQueueCount = 2;
-    state_.threads[2].frontAndQueueCount = 11;
+    state_.frontAndQueueCount[0] = 7;
+    state_.frontAndQueueCount[1] = 2;
+    state_.frontAndQueueCount[2] = 11;
     // Lower key = higher priority: thread 1 first, thread 2 last.
     EXPECT_LT(p->priorityKey(state_, 1), p->priorityKey(state_, 0));
     EXPECT_LT(p->priorityKey(state_, 0), p->priorityKey(state_, 2));
@@ -150,10 +150,10 @@ TEST_F(PolicyStateTest, ICountPrefersThreadWithFewestInstructions)
 TEST_F(PolicyStateTest, BrCountPrefersThreadWithFewestBranches)
 {
     auto p = fetchPolicy("BRCOUNT");
-    state_.threads[0].branchCount = 4;
-    state_.threads[1].branchCount = 1;
-    state_.threads[0].frontAndQueueCount = 1; // must not matter.
-    state_.threads[1].frontAndQueueCount = 30;
+    state_.branchCount[0] = 4;
+    state_.branchCount[1] = 1;
+    state_.frontAndQueueCount[0] = 1; // must not matter.
+    state_.frontAndQueueCount[1] = 30;
     EXPECT_LT(p->priorityKey(state_, 1), p->priorityKey(state_, 0));
 }
 
@@ -208,8 +208,8 @@ TEST_F(PolicyStateTest, IQPosnConsidersBothQueues)
 TEST_F(PolicyStateTest, HybridICountMissCountBlendsBothSignals)
 {
     auto p = fetchPolicy("ICOUNT+MISSCOUNT");
-    state_.threads[0].frontAndQueueCount = 2;
-    state_.threads[1].frontAndQueueCount = 3;
+    state_.frontAndQueueCount[0] = 2;
+    state_.frontAndQueueCount[1] = 3;
     // Without misses the hybrid degenerates to ICOUNT order...
     EXPECT_LT(p->priorityKey(state_, 0), p->priorityKey(state_, 1));
     // ...but an outstanding miss on thread 0 outweighs its small

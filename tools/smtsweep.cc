@@ -8,7 +8,11 @@
  *   smtsweep --experiment fig5 --require-cached
  *       assert the whole grid replays from cache (CI's second pass);
  *   smtsweep --list | --describe NAME
- *       enumerate / inspect experiment grids without running them.
+ *       enumerate / inspect experiment grids without running them;
+ *   smtsweep --bench-simspeed [--json BENCH_simspeed.json]
+ *       measure simulator speed (simulated cycles per wall-clock
+ *       second) over the default machine shapes and write the
+ *       "smt-simspeed-v1" artifact scripts/check-simspeed.sh gates on.
  *
  * Measurement knobs come from the SMTSIM_CYCLES / SMTSIM_WARMUP /
  * SMTSIM_RUNS / SMTSIM_SERIAL environment (like the bench binaries)
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "dist/shard.hh"
+#include "sim/simspeed.hh"
 #include "sweep/digest.hh"
 #include "sweep/experiments.hh"
 #include "sweep/result_cache.hh"
@@ -40,8 +45,16 @@ usage(int code)
         "usage: smtsweep --experiment NAME [options]\n"
         "       smtsweep --list\n"
         "       smtsweep --describe NAME\n"
+        "       smtsweep --bench-simspeed [options]\n"
         "\n"
         "options:\n"
+        "  --bench-simspeed    measure simulator cycles/sec over the\n"
+        "                      default machine shapes; writes the\n"
+        "                      smt-simspeed-v1 JSON to --json (default\n"
+        "                      BENCH_simspeed.json)\n"
+        "  --force-generic     with --bench-simspeed: pin the\n"
+        "                      virtual-dispatch core engine (A/B\n"
+        "                      against the specialized engines)\n"
         "  --experiment NAME   experiment to run (repeatable)\n"
         "  --list              list every experiment and exit\n"
         "  --describe NAME     print an experiment's grid as JSON\n"
@@ -121,6 +134,8 @@ main(int argc, char **argv)
     smt::dist::ShardWorkerOptions wopts;
     unsigned shard_count = 0;
     bool list = false;
+    bool bench_simspeed = false;
+    bool force_generic = false;
     std::vector<std::string> describe;
 
     auto next_arg = [&](int &i) -> const char * {
@@ -218,6 +233,10 @@ main(int argc, char **argv)
             ropts.verbose = true;
         else if (std::strcmp(arg, "--list") == 0)
             list = true;
+        else if (std::strcmp(arg, "--bench-simspeed") == 0)
+            bench_simspeed = true;
+        else if (std::strcmp(arg, "--force-generic") == 0)
+            force_generic = true;
         else if (std::strcmp(arg, "--describe") == 0)
             describe.push_back(next_arg(i));
         else if (std::strcmp(arg, "--help") == 0
@@ -252,6 +271,26 @@ main(int argc, char **argv)
     }
     if (!describe.empty() && names.empty())
         return 0;
+
+    // Simulator-speed benchmark: no sweep engine, no cache — just the
+    // measurement library and its JSON artifact.
+    if (bench_simspeed) {
+        smt::simspeed::Options sopts;
+        sopts.warmupCycles = ropts.measure.warmupCycles;
+        sopts.measureCycles = ropts.measure.cyclesPerRun;
+        sopts.repeats = ropts.measure.runs;
+        if (force_generic)
+            sopts.dispatch = smt::CoreDispatch::ForceGeneric;
+        const auto results =
+            smt::simspeed::measureAll(smt::simspeed::defaultShapes(),
+                                      sopts);
+        std::fputs(smt::simspeed::formatTable(results).c_str(), stdout);
+        const std::string out_path =
+            json_path.empty() ? "BENCH_simspeed.json" : json_path;
+        writeJsonFile(out_path, smt::simspeed::toJson(results, sopts));
+        std::printf("wrote %s\n", out_path.c_str());
+        return 0;
+    }
 
     if (names.empty()) {
         std::fprintf(stderr, "smtsweep: no experiment named "
