@@ -19,14 +19,19 @@ FetchStage<Policy>::selectFetchThreads()
     for (unsigned t = 0; t < st_.numThreads; ++t) {
         const ThreadID tid = static_cast<ThreadID>(t);
         ThreadState &ts = st_.threads[t];
-        if (st_.fetchReadyAt[t] > st_.cycle)
-            continue;
-        if (ts.frontEnd.size() + st_.cfg.fetchPerThread > st_.frontEndCap) {
-            ++st_.stats.fetchBlockedIQFull;
+        if (st_.fetchReadyAt[t] > st_.cycle) {
+            outcome_[t] = FetchOutcome::IcacheMiss;
             continue;
         }
-        if (ts.program->image().at(ts.fetchPc) == nullptr)
+        if (ts.frontEnd.size() + st_.cfg.fetchPerThread > st_.frontEndCap) {
+            ++st_.stats.fetchBlockedIQFull;
+            outcome_[t] = FetchOutcome::FrontEndFull;
+            continue;
+        }
+        if (ts.program->image().at(ts.fetchPc) == nullptr) {
+            outcome_[t] = FetchOutcome::NoTarget;
             continue; // bogus predicted target; awaiting resolution.
+        }
         if (st_.cfg.itagEarlyLookup &&
             !st_.mem.icacheWouldHit(ts.fetchPc)) {
             // ITAG: the probe happened a cycle early, so the miss can
@@ -34,8 +39,11 @@ FetchStage<Policy>::selectFetchThreads()
             const auto r = st_.mem.fetchAccess(tid, ts.fetchPc, st_.cycle);
             if (!r.bankConflict && r.ready > st_.cycle)
                 st_.fetchReadyAt[t] = r.ready;
+            outcome_[t] = FetchOutcome::IcacheMiss;
             continue;
         }
+        // Provisionally a lost slot; tick() upgrades the selected.
+        outcome_[t] = FetchOutcome::LostSelection;
         const unsigned rr =
             (t + st_.numThreads - st_.rrBase) % st_.numThreads;
         cands_[num_cands++] = {policy_.priorityKey(st_, tid), rr, tid};
@@ -167,14 +175,41 @@ FetchStage<Policy>::tick()
             std::min(st_.cfg.fetchPerThread, st_.cfg.fetchWidth - total);
 
         const auto r = st_.mem.fetchAccess(tid, ts.fetchPc, st_.cycle);
-        if (r.bankConflict)
+        if (r.bankConflict) {
+            outcome_[tid] = FetchOutcome::IcacheMiss;
             continue; // lost the bank to fill traffic this cycle.
+        }
         if (r.ready > st_.cycle) {
             // I-cache (or ITLB) miss: the thread stalls while it fills.
             st_.fetchReadyAt[tid] = r.ready;
+            outcome_[tid] = FetchOutcome::IcacheMiss;
             continue;
         }
-        total += fetchFromThread(tid, budget);
+        const unsigned fetched = fetchFromThread(tid, budget);
+        if (fetched > 0)
+            outcome_[tid] = FetchOutcome::Active;
+        total += fetched;
+    }
+
+    StallStats &sl = st_.stats.stalls;
+    for (unsigned t = 0; t < st_.numThreads; ++t) {
+        switch (outcome_[t]) {
+        case FetchOutcome::Active:
+            ++sl.fetchActive[t];
+            break;
+        case FetchOutcome::IcacheMiss:
+            ++sl.fetchIcacheMiss[t];
+            break;
+        case FetchOutcome::FrontEndFull:
+            ++sl.fetchFrontEndFull[t];
+            break;
+        case FetchOutcome::NoTarget:
+            ++sl.fetchNoTarget[t];
+            break;
+        case FetchOutcome::LostSelection:
+            ++sl.fetchLostSelection[t];
+            break;
+        }
     }
 
     st_.rrBase = (st_.rrBase + 1) % st_.numThreads;

@@ -24,6 +24,21 @@
 namespace smt
 {
 
+/**
+ * Per-cycle fetch disposition of one thread, flushed into
+ * StallStats at the end of the stage tick. Exactly one outcome is
+ * recorded per (cycle, thread), so the stall counters partition the
+ * run's cycles per thread.
+ */
+enum class FetchOutcome : std::uint8_t
+{
+    Active,        ///< fetched at least one instruction.
+    IcacheMiss,    ///< I-cache/ITLB miss pending/starting, or bank lost.
+    FrontEndFull,  ///< front-end occupancy cap (IQ backpressure).
+    NoTarget,      ///< fetch PC awaiting misfetch resolution.
+    LostSelection, ///< fetchable but out-prioritized this cycle.
+};
+
 /** One fetch-selection candidate (a fetchable thread this cycle). */
 struct FetchCandidate
 {
@@ -79,6 +94,7 @@ class FetchStage
     std::array<FetchCandidate, kMaxThreads> cands_;
     std::array<ThreadID, kMaxThreads> selected_;
     std::array<unsigned, kMaxThreads> banks_;
+    std::array<FetchOutcome, kMaxThreads> outcome_;
 };
 
 // The template is instantiated explicitly in fetch.cc for the abstract

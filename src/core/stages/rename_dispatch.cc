@@ -43,12 +43,14 @@ RenameDispatchStage::tick()
         if (q.full()) {
             blocked[best->tid] = true;
             ++st_.stats.fetchBlockedIQFull;
+            ++st_.stats.stalls.renameIQFull[best->tid];
             continue;
         }
         if (best->si->dest.valid() &&
             !st_.file(best->si->dest.file).hasFree()) {
             blocked[best->tid] = true;
             out_of_regs = true;
+            ++st_.stats.stalls.renameNoRegisters[best->tid];
             continue;
         }
 

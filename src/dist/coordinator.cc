@@ -68,6 +68,41 @@ makeManifest(const std::string &experiment,
     return manifest;
 }
 
+/** One status-line chunk from a /v1/stats snapshot: total requests
+ *  served and the entry hit ratio — enough to see a hot or sick store
+ *  at a glance. Empty when the snapshot has no counters. */
+std::string
+storeStatsBrief(const sweep::Json &stats)
+{
+    if (stats.type() != sweep::Json::Type::Object
+        || !stats.has("counters"))
+        return "";
+    const sweep::Json &counters = stats.at("counters");
+    if (counters.type() != sweep::Json::Type::Object)
+        return "";
+    std::uint64_t requests = 0, hits = 0, misses = 0;
+    for (const auto &[key, value] : counters.items()) {
+        if (value.type() != sweep::Json::Type::UInt)
+            continue;
+        if (key.rfind("store.requests.", 0) == 0)
+            requests += value.asUInt();
+        else if (key == "store.entries.hits")
+            hits = value.asUInt();
+        else if (key == "store.entries.misses")
+            misses = value.asUInt();
+    }
+    char buf[96];
+    if (hits + misses > 0)
+        std::snprintf(buf, sizeof buf,
+                      " | store %llu reqs %.0f%% hits",
+                      static_cast<unsigned long long>(requests),
+                      100.0 * hits / (hits + misses));
+    else
+        std::snprintf(buf, sizeof buf, " | store %llu reqs",
+                      static_cast<unsigned long long>(requests));
+    return buf;
+}
+
 /** Declare every unfinished digest of a dead worker's shard orphaned,
  *  so idle workers (and the audit) see abandoned, adoptable work. */
 std::size_t
@@ -95,6 +130,14 @@ LocalProcessLauncher::setStoreToken(const std::string &token)
     tokenEnv_ = token.empty() ? "" : "SMTSTORE_TOKEN=" + token;
 }
 
+void
+LocalProcessLauncher::setTraceId(const std::string &trace_id)
+{
+    traceEnv_ = trace_id.empty()
+                    ? ""
+                    : std::string(obs::kTraceEnvVar) + "=" + trace_id;
+}
+
 long
 LocalProcessLauncher::launch(unsigned shard,
                              const std::vector<std::string> &argv)
@@ -110,12 +153,18 @@ LocalProcessLauncher::launch(unsigned shard,
 
     std::vector<char *> cenv;
     for (char **e = environ; *e != nullptr; ++e) {
-        if (tokenEnv_.empty()
-            || std::strncmp(*e, "SMTSTORE_TOKEN=", 15) != 0)
-            cenv.push_back(*e);
+        if (!tokenEnv_.empty()
+            && std::strncmp(*e, "SMTSTORE_TOKEN=", 15) == 0)
+            continue;
+        if (!traceEnv_.empty()
+            && std::strncmp(*e, "SMTSWEEP_TRACE_ID=", 18) == 0)
+            continue;
+        cenv.push_back(*e);
     }
     if (!tokenEnv_.empty())
         cenv.push_back(const_cast<char *>(tokenEnv_.c_str()));
+    if (!traceEnv_.empty())
+        cenv.push_back(const_cast<char *>(traceEnv_.c_str()));
     cenv.push_back(nullptr);
 
     const pid_t pid = ::fork();
@@ -206,6 +255,19 @@ runDistributed(const sweep::NamedExperiment &experiment,
     std::unique_ptr<sweep::ResultStore> store =
         sweep::openStore(locator, opts.ropts.storeToken);
 
+    // The coordinator's trace id brackets the whole sweep: its own
+    // store requests carry it, local workers inherit it through the
+    // environment, and the coordinator emits the sweep-level spans
+    // (start / worker exits / done) between the workers' per-digest
+    // ones.
+    obs::TraceWriter *const trace = opts.ropts.trace;
+    if (trace != nullptr)
+        store->setTraceContext(trace->traceId());
+    const auto sweepSpan = [&](const char *event, sweep::Json fields) {
+        if (trace != nullptr)
+            trace->emit(event, std::move(fields));
+    };
+
     // Plan and record the expected work before any worker starts, so
     // the store can be audited from the first heartbeat on. Observed
     // costs from a previous sweep over this store outrank estimates.
@@ -221,7 +283,19 @@ runDistributed(const sweep::NamedExperiment &experiment,
         makeLauncher(opts.hostList, opts.sshProgram);
     if (!opts.ropts.storeToken.empty())
         launcher->setStoreToken(opts.ropts.storeToken);
+    if (trace != nullptr)
+        launcher->setTraceId(trace->traceId());
     const bool captured_progress = launcher->capturesProgress();
+
+    {
+        sweep::Json f = sweep::Json::object();
+        f.set("experiment", sweep::Json(name));
+        f.set("shards", sweep::Json(opts.shards));
+        f.set("points",
+              sweep::Json(static_cast<std::uint64_t>(grid.size())));
+        f.set("store", sweep::Json(store->description()));
+        sweepSpan("sweep_start", std::move(f));
+    }
 
     // File-based heartbeats need a local directory; a remote store has
     // no local one, so they live beside the working directory, keyed
@@ -310,6 +384,14 @@ runDistributed(const sweep::NamedExperiment &experiment,
     unsigned running = opts.shards;
     outcome.orphansDeclared = 0;
 
+    // Live store health: against a remote store, fold a /v1/stats
+    // snapshot into the progress line every few seconds (every poll
+    // would double the store's request load for no information gain).
+    auto *const remote =
+        dynamic_cast<sweep::RemoteResultStore *>(store.get());
+    std::string store_suffix;
+    unsigned ticks = 0;
+
     auto latestFor = [&](Worker &w, ProgressRecord &rec) {
         if (captured_progress)
             return launcher->latestProgress(w.handle, rec);
@@ -320,6 +402,14 @@ runDistributed(const sweep::NamedExperiment &experiment,
     auto onExit = [&](Worker &w, int exit_code) {
         w.running = false;
         --running;
+        {
+            sweep::Json f = sweep::Json::object();
+            f.set("shard", sweep::Json(w.status.shard));
+            f.set("exitCode", sweep::Json(
+                                  static_cast<std::int64_t>(exit_code)));
+            f.set("seconds", sweep::Json(secondsSince(w.launchedAt)));
+            sweepSpan("worker_exit", std::move(f));
+        }
         if (exit_code == 0) {
             w.status.succeeded = true;
             w.status.attempts = w.attempts;
@@ -386,8 +476,13 @@ runDistributed(const sweep::NamedExperiment &experiment,
             }
         }
         const ProgressSummary summary = aggregateProgress(latest);
+        if (remote != nullptr && ticks++ % 20 == 0) {
+            if (std::optional<sweep::Json> s = remote->stats())
+                store_suffix = storeStatsBrief(*s);
+        }
         const std::string line =
-            renderProgressLine(summary, opts.shards, secondsSince(start));
+            renderProgressLine(summary, opts.shards, secondsSince(start))
+            + store_suffix;
         if (opts.showProgress) {
             if (live_tty) {
                 std::fprintf(stderr, "\r[smtsweep-dist] %-70s",
@@ -529,6 +624,18 @@ runDistributed(const sweep::NamedExperiment &experiment,
     }
 
     outcome.wallSeconds = secondsSince(start);
+    {
+        sweep::Json f = sweep::Json::object();
+        f.set("experiment", sweep::Json(name));
+        f.set("seconds", sweep::Json(outcome.wallSeconds));
+        f.set("workerCacheHits",
+              sweep::Json(static_cast<std::uint64_t>(
+                  outcome.workerCacheHits)));
+        f.set("orphansDeclared",
+              sweep::Json(static_cast<std::uint64_t>(
+                  outcome.orphansDeclared)));
+        sweepSpan("sweep_done", std::move(f));
+    }
     return 0;
 }
 
@@ -581,6 +688,15 @@ auditArtifact(const std::string &store_locator,
     std::unique_ptr<sweep::ResultStore> store =
         sweep::openStore(store_locator, store_token);
     doc.set("store", sweep::Json(store->description()));
+    // A remote store also contributes its live /v1/stats snapshot, so
+    // one audit artifact captures both the work ledger and the serving
+    // side's health (best-effort: an old server without the route just
+    // yields an audit without the snapshot).
+    if (auto *remote =
+            dynamic_cast<sweep::RemoteResultStore *>(store.get())) {
+        if (std::optional<sweep::Json> stats = remote->stats())
+            doc.set("storeStats", std::move(*stats));
+    }
     const std::optional<sweep::Json> manifest = store->readManifest();
     if (!manifest.has_value()
         || manifest->type() != sweep::Json::Type::Object

@@ -62,6 +62,18 @@ class WorkerLauncher
         (void)token;
     }
 
+    /**
+     * Hand every future worker the sweep's trace id (SMTSWEEP_TRACE_ID
+     * in its environment), so worker spans and store access logs join
+     * the coordinator's trace. Local launches only — the ssh backend
+     * leaves this a no-op (sshd drops foreign env vars by default;
+     * remote workers mint their own ids).
+     */
+    virtual void setTraceId(const std::string &trace_id)
+    {
+        (void)trace_id;
+    }
+
     /** Poll a worker; true once it has exited, filling `exit_code`
      *  (128+signal for a signalled death). */
     virtual bool poll(long handle, int &exit_code) = 0;
@@ -95,12 +107,14 @@ class LocalProcessLauncher final : public WorkerLauncher
     long launch(unsigned shard,
                 const std::vector<std::string> &argv) override;
     void setStoreToken(const std::string &token) override;
+    void setTraceId(const std::string &trace_id) override;
     bool poll(long handle, int &exit_code) override;
     void wait(long handle, int &exit_code) override;
     void terminate(long handle) override;
 
   private:
     std::string tokenEnv_; ///< "SMTSTORE_TOKEN=<token>" or empty.
+    std::string traceEnv_; ///< "SMTSWEEP_TRACE_ID=<id>" or empty.
 };
 
 /**

@@ -5,6 +5,21 @@
 namespace smt::net
 {
 
+void
+HttpServer::setMetrics(obs::Registry *metrics)
+{
+    smt_assert(!running_, "attach metrics before start()");
+    if (metrics == nullptr) {
+        metrics_ = NetMetrics{};
+        return;
+    }
+    metrics_.connections = &metrics->counter("net.connections");
+    metrics_.liveConnections = &metrics->gauge("net.connections.live");
+    metrics_.requests = &metrics->counter("net.requests");
+    metrics_.bytesIn = &metrics->counter("net.bytes_in");
+    metrics_.bytesOut = &metrics->counter("net.bytes_out");
+}
+
 bool
 HttpServer::start(const std::string &bind_addr, std::uint16_t port,
                   Handler handler, std::string *error)
@@ -72,6 +87,10 @@ HttpServer::acceptLoop()
         if (!conn.valid())
             break; // listener closed (stop()) or a fatal accept error.
 
+        if (metrics_.connections != nullptr) {
+            metrics_.connections->inc();
+            metrics_.liveConnections->add(1);
+        }
         std::vector<std::thread> done;
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -108,12 +127,20 @@ HttpServer::serveConnection(std::uint64_t id)
             wantsClose(req.headers) || wantsClose(resp.headers);
         if (close_after)
             resp.headers.set("Connection", "close");
-        if (!sock->sendAll(serialize(resp)))
+        const std::string wire = serialize(resp);
+        if (metrics_.requests != nullptr) {
+            metrics_.requests->inc();
+            metrics_.bytesIn->inc(req.body.size());
+            metrics_.bytesOut->inc(wire.size());
+        }
+        if (!sock->sendAll(wire))
             break;
         if (close_after)
             break;
     }
 
+    if (metrics_.liveConnections != nullptr)
+        metrics_.liveConnections->add(-1);
     std::lock_guard<std::mutex> lock(mu_);
     connections_.erase(id);
     finished_.push_back(id);

@@ -24,6 +24,7 @@
 
 #include "net/http.hh"
 #include "net/socket.hh"
+#include "obs/metrics.hh"
 
 namespace smt::net
 {
@@ -32,6 +33,14 @@ class HttpServer
 {
   public:
     using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    /**
+     * Attach a metrics registry (before start()). The server then
+     * maintains `net.connections` / `net.connections.live`,
+     * `net.requests`, and `net.bytes_in` / `net.bytes_out` (payload
+     * bytes in, full serialized response bytes out).
+     */
+    void setMetrics(obs::Registry *metrics);
 
     HttpServer() = default;
     ~HttpServer() { stop(); }
@@ -59,7 +68,18 @@ class HttpServer
     void serveConnection(std::uint64_t id);
     void reapFinishedLocked(std::vector<std::thread> &out);
 
+    /** Resolved-once instrument slots (null when unattached). */
+    struct NetMetrics
+    {
+        obs::Counter *connections = nullptr;
+        obs::Gauge *liveConnections = nullptr;
+        obs::Counter *requests = nullptr;
+        obs::Counter *bytesIn = nullptr;
+        obs::Counter *bytesOut = nullptr;
+    };
+
     Handler handler_;
+    NetMetrics metrics_;
     Socket listener_;
     std::uint16_t port_ = 0;
     bool running_ = false;

@@ -1,0 +1,113 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smt::obs
+{
+
+LatencyHistogram::LatencyHistogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1])
+{
+    smt_assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+        counts_[b].store(0, std::memory_order_relaxed);
+}
+
+void
+LatencyHistogram::observe(std::uint64_t sample)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+    const std::size_t bucket =
+        static_cast<std::size_t>(it - bounds_.begin());
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+LatencyHistogram::counts() const
+{
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+        out[b] = counts_[b].load(std::memory_order_relaxed);
+    return out;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram &
+Registry::histogram(const std::string &name,
+                    std::vector<std::uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>(std::move(bounds));
+    return *slot;
+}
+
+sweep::Json
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+
+    sweep::Json counters = sweep::Json::object();
+    for (const auto &[name, c] : counters_)
+        counters.set(name, sweep::Json(c->value()));
+
+    sweep::Json gauges = sweep::Json::object();
+    for (const auto &[name, g] : gauges_)
+        gauges.set(name, sweep::Json(g->value()));
+
+    sweep::Json histograms = sweep::Json::object();
+    for (const auto &[name, h] : histograms_) {
+        sweep::Json bounds = sweep::Json::array();
+        for (std::uint64_t b : h->bounds())
+            bounds.push(sweep::Json(b));
+        sweep::Json counts = sweep::Json::array();
+        for (std::uint64_t c : h->counts())
+            counts.push(sweep::Json(c));
+        sweep::Json one = sweep::Json::object();
+        one.set("bounds", std::move(bounds));
+        one.set("counts", std::move(counts));
+        one.set("sum", sweep::Json(h->sum()));
+        one.set("samples", sweep::Json(h->samples()));
+        histograms.set(name, std::move(one));
+    }
+
+    sweep::Json j = sweep::Json::object();
+    j.set("counters", std::move(counters));
+    j.set("gauges", std::move(gauges));
+    j.set("histograms", std::move(histograms));
+    return j;
+}
+
+std::vector<std::uint64_t>
+defaultLatencyBoundsUs()
+{
+    return {100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000};
+}
+
+} // namespace smt::obs

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A dependency-free metrics registry: named counters, gauges, and
+ * fixed-bucket latency histograms, snapshotted to JSON on demand.
+ *
+ * The design keeps the hot path trivial: an instrument is registered
+ * once (under the registry mutex) and the caller holds a stable
+ * reference forever after; increments are single relaxed atomic adds
+ * with no lookup, no lock, and no allocation. Snapshots walk the
+ * registry under the mutex and render through the same `sweep::Json`
+ * writer the result cache uses, so `/v1/stats` and BENCH_obs.json
+ * serialize counters exactly (64-bit, insertion-ordered).
+ */
+
+#ifndef SMT_OBS_METRICS_HH
+#define SMT_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sweep/json.hh"
+
+namespace smt::obs
+{
+
+/** A monotonically increasing 64-bit event count. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** A signed instantaneous level (live connections, queue depth). */
+class Gauge
+{
+  public:
+    void
+    add(std::int64_t n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void
+    set(std::int64_t n)
+    {
+        v_.store(n, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * A histogram over fixed upper bounds chosen at registration.
+ *
+ * A sample lands in the first bucket whose bound it does not exceed;
+ * samples above the last bound land in the implicit overflow bucket.
+ * Bounds are in whatever unit the caller samples in (the store uses
+ * microseconds for request latency).
+ */
+class LatencyHistogram
+{
+  public:
+    explicit LatencyHistogram(std::vector<std::uint64_t> bounds);
+
+    void observe(std::uint64_t sample);
+
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+    /** Bucket counts; size() == bounds().size() + 1 (overflow last). */
+    std::vector<std::uint64_t> counts() const;
+    std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    std::uint64_t
+    samples() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> samples_{0};
+};
+
+/**
+ * The process-wide instrument directory. Lookup allocates on first
+ * use and returns a reference that stays valid for the registry's
+ * lifetime, so callers resolve names once and increment lock-free.
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** Bounds are fixed by the first registration of `name`. */
+    LatencyHistogram &histogram(const std::string &name,
+                                std::vector<std::uint64_t> bounds);
+
+    /**
+     * Render every instrument:
+     * `{"counters": {...}, "gauges": {...}, "histograms":
+     *   {name: {"bounds": [...], "counts": [...], "sum", "samples"}}}`.
+     */
+    sweep::Json snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/** Default latency bounds: 100us .. 1s, roughly half-decade steps. */
+std::vector<std::uint64_t> defaultLatencyBoundsUs();
+
+} // namespace smt::obs
+
+#endif // SMT_OBS_METRICS_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structured trace events: one JSON object per line (JSONL), each
+ * carrying a wall-clock timestamp, an event name, and the trace id
+ * that stitches a sweep's spans together across processes and hosts.
+ *
+ * The trace id is minted once per sweep (coordinator or tool entry
+ * point), handed to local workers in the SMTSWEEP_TRACE_ID
+ * environment variable, and rides every store request as the
+ * `X-Smt-Trace` header so server-side access logs line up with
+ * client-side spans.
+ */
+
+#ifndef SMT_OBS_TRACE_HH
+#define SMT_OBS_TRACE_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "sweep/json.hh"
+
+namespace smt::obs
+{
+
+/** Wire/env names for trace-id propagation. */
+inline constexpr const char *kTraceHeader = "X-Smt-Trace";
+inline constexpr const char *kTraceEnvVar = "SMTSWEEP_TRACE_ID";
+
+/** A fresh process-unique hex trace id (no RNG dependency). */
+std::string newTraceId();
+
+/** Wall-clock seconds since the Unix epoch, to microseconds. */
+double nowUnixSeconds();
+
+/**
+ * A thread-safe JSONL appender. Construction opens (appends to) the
+ * file; emit() serializes one event per line and flushes, so a trace
+ * is readable while the sweep is still running and survives a crash
+ * up to the last event.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Opens `path` for append; fatal if the file cannot be opened.
+     * An empty `trace_id` falls back to SMTSWEEP_TRACE_ID (a worker
+     * joining its coordinator's trace) and then to a fresh id.
+     */
+    explicit TraceWriter(const std::string &path,
+                         std::string trace_id = "");
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /**
+     * Write `{"ts": ..., "event": event, "trace": traceId(), plus
+     * every key of `fields`}` as one line. `fields` must be a JSON
+     * object (or null for no extra fields).
+     */
+    void emit(const std::string &event, sweep::Json fields);
+
+    const std::string &traceId() const { return trace_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::string trace_;
+    std::FILE *f_;
+    std::mutex mu_;
+};
+
+} // namespace smt::obs
+
+#endif // SMT_OBS_TRACE_HH

@@ -1,9 +1,27 @@
 #include "stats/stats.hh"
 
+#include <iomanip>
 #include <sstream>
 
 namespace smt
 {
+
+void
+StallStats::add(const StallStats &o)
+{
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+        fetchActive[t] += o.fetchActive[t];
+        fetchIcacheMiss[t] += o.fetchIcacheMiss[t];
+        fetchFrontEndFull[t] += o.fetchFrontEndFull[t];
+        fetchNoTarget[t] += o.fetchNoTarget[t];
+        fetchLostSelection[t] += o.fetchLostSelection[t];
+        renameIQFull[t] += o.renameIQFull[t];
+        renameNoRegisters[t] += o.renameNoRegisters[t];
+        issueOperandWait[t] += o.issueOperandWait[t];
+        issueFuBusy[t] += o.issueFuBusy[t];
+    }
+    issueNoCandidatesCycles += o.issueNoCandidatesCycles;
+}
 
 void
 SimStats::add(const SimStats &o)
@@ -31,6 +49,7 @@ SimStats::add(const SimStats &o)
     }
 
     outOfRegistersCycles += o.outOfRegistersCycles;
+    stalls.add(o.stalls);
 
     condBranches += o.condBranches;
     condBranchMispredicts += o.condBranchMispredicts;
@@ -81,6 +100,45 @@ SimStats::report() const
        << l3.mpki(committedInstructions) << " MPKI)\n"
        << "ITLB miss rate             " << pct(itlb.missRate()) << "%\n"
        << "DTLB miss rate             " << pct(dtlb.missRate()) << "%\n";
+    return os.str();
+}
+
+std::string
+SimStats::stallReport(unsigned numThreads) const
+{
+    std::ostringstream os;
+    const StallStats &s = stalls;
+
+    os << "stall-cause breakdown (slots; fetch columns partition the "
+          "run's cycles per thread)\n";
+    os << std::left << std::setw(7) << "thread";
+    for (const char *col :
+         {"fet.icache", "fet.fefull", "fet.notgt", "fet.lostsel",
+          "ren.iqfull", "ren.noregs", "iss.opwait", "iss.fubusy",
+          "stalled"})
+        os << std::right << std::setw(12) << col;
+    os << '\n';
+
+    std::uint64_t grand = 0;
+    for (unsigned t = 0; t < numThreads; ++t) {
+        const std::uint64_t row = s.fetchStalled(t) + s.renameIQFull[t] +
+                                  s.renameNoRegisters[t] +
+                                  s.issueOperandWait[t] + s.issueFuBusy[t];
+        grand += row;
+        os << std::left << std::setw(7) << ("T" + std::to_string(t));
+        for (std::uint64_t v :
+             {s.fetchIcacheMiss[t], s.fetchFrontEndFull[t],
+              s.fetchNoTarget[t], s.fetchLostSelection[t],
+              s.renameIQFull[t], s.renameNoRegisters[t],
+              s.issueOperandWait[t], s.issueFuBusy[t], row})
+            os << std::right << std::setw(12) << v;
+        os << '\n';
+    }
+    grand += s.issueNoCandidatesCycles;
+    os << "issue idle cycles (no candidate in either queue)  "
+       << s.issueNoCandidatesCycles << '\n';
+    os << "total stalled slots                               " << grand
+       << '\n';
     return os.str();
 }
 

@@ -75,6 +75,69 @@ struct TlbStats
     }
 };
 
+/**
+ * Per-thread, per-cause stall and lost-slot accounting — the lens the
+ * paper uses to explain *why* a fetch or issue policy wins (lost fetch
+ * slots, IQ-full backpressure, issue slots lost to operand waits).
+ *
+ * Fetch counters form a partition: every (cycle, thread) pair lands in
+ * exactly one of fetchActive / fetchIcacheMiss / fetchFrontEndFull /
+ * fetchNoTarget / fetchLostSelection, so per thread the five sum to
+ * the run's cycle count. Rename counters record once per cycle that a
+ * thread's rename blocked on that resource; issue counters record
+ * per-candidate skip events.
+ */
+struct StallStats
+{
+    // ---- Fetch (one disposition per cycle per thread) -------------------
+    /** The thread fetched at least one instruction this cycle. */
+    std::array<std::uint64_t, kMaxThreads> fetchActive{};
+    /** I-cache/ITLB miss pending or starting, or lost the bank. */
+    std::array<std::uint64_t, kMaxThreads> fetchIcacheMiss{};
+    /** Front-end/queue occupancy cap reached (IQ backpressure). */
+    std::array<std::uint64_t, kMaxThreads> fetchFrontEndFull{};
+    /** Fetch PC has no decoded target (awaiting misfetch resolution). */
+    std::array<std::uint64_t, kMaxThreads> fetchNoTarget{};
+    /** Fetchable, but lost the slot to higher-priority threads. */
+    std::array<std::uint64_t, kMaxThreads> fetchLostSelection{};
+
+    // ---- Rename/dispatch (once per blocked cycle per thread) ------------
+    /** Rename blocked: the target instruction queue was full. */
+    std::array<std::uint64_t, kMaxThreads> renameIQFull{};
+    /** Rename blocked: no free physical register. */
+    std::array<std::uint64_t, kMaxThreads> renameNoRegisters{};
+
+    // ---- Issue (per skipped-candidate event) ----------------------------
+    /** Candidate skipped: source operands not ready. */
+    std::array<std::uint64_t, kMaxThreads> issueOperandWait{};
+    /** Candidate skipped: no functional unit left this cycle. */
+    std::array<std::uint64_t, kMaxThreads> issueFuBusy{};
+    /** Cycles where neither queue offered a single candidate. */
+    std::uint64_t issueNoCandidatesCycles = 0;
+
+    /** Fetch cycles thread `t` stalled (everything but fetchActive). */
+    std::uint64_t
+    fetchStalled(unsigned t) const
+    {
+        return fetchIcacheMiss[t] + fetchFrontEndFull[t] +
+               fetchNoTarget[t] + fetchLostSelection[t];
+    }
+
+    /** All stalled slots across threads and causes (report total). */
+    std::uint64_t
+    totalStalledSlots() const
+    {
+        std::uint64_t total = issueNoCandidatesCycles;
+        for (unsigned t = 0; t < kMaxThreads; ++t)
+            total += fetchStalled(t) + renameIQFull[t] +
+                     renameNoRegisters[t] + issueOperandWait[t] +
+                     issueFuBusy[t];
+        return total;
+    }
+
+    void add(const StallStats &o);
+};
+
 /** Every simulation-level counter the paper's evaluation reports. */
 struct SimStats
 {
@@ -118,6 +181,11 @@ struct SimStats
     CacheStats l3;
     TlbStats itlb;
     TlbStats dtlb;
+
+    // ---- Per-thread, per-cause stall accounting -------------------------
+    // (Last on purpose: 584 bytes of cold-ish arrays; keeping it after
+    // the scalar counters preserves their cache-line packing.)
+    StallStats stalls;
 
     // ---- Derived metrics --------------------------------------------------
     double
@@ -203,6 +271,13 @@ struct SimStats
 
     /** Multi-line human-readable dump (for examples and debugging). */
     std::string report() const;
+
+    /**
+     * Per-thread stall-cause table (`--stall-report`): one row per
+     * thread whose cause columns sum to the row total, row totals
+     * summing to the printed total stalled slots.
+     */
+    std::string stallReport(unsigned numThreads) const;
 };
 
 } // namespace smt

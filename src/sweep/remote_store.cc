@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/lz.hh"
+#include "obs/trace.hh"
 #include "sweep/digest.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/serialize.hh"
@@ -67,9 +68,17 @@ RemoteResultStore::exchange(const std::string &method,
         req.headers.set("Accept-Encoding", kLzEncodingName);
     if (!token_.empty())
         req.headers.set("Authorization", "Bearer " + token_);
+    if (!traceId_.empty())
+        req.headers.set(obs::kTraceHeader, traceId_);
 
     std::lock_guard<std::mutex> lock(mu_);
     return client_.request(req);
+}
+
+void
+RemoteResultStore::setTraceContext(const std::string &trace_id)
+{
+    traceId_ = trace_id;
 }
 
 bool
@@ -382,6 +391,52 @@ RemoteResultStore::ping(std::string *error) const
                            + std::to_string(resp->status)
                      : client_.lastError();
     return false;
+}
+
+std::optional<Json>
+RemoteResultStore::pingDocument(std::string *error) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/ping");
+    if (!resp.has_value() || !resp->ok()) {
+        if (error != nullptr)
+            *error = resp.has_value()
+                         ? "unexpected status "
+                               + std::to_string(resp->status)
+                         : client_.lastError();
+        return std::nullopt;
+    }
+    Json doc;
+    if (!Json::parse(resp->body, doc)
+        || doc.type() != Json::Type::Object) {
+        if (error != nullptr)
+            *error = "ping response is not a JSON object";
+        return std::nullopt;
+    }
+    return doc;
+}
+
+std::optional<Json>
+RemoteResultStore::stats(std::string *error) const
+{
+    const std::optional<net::HttpResponse> resp =
+        exchange("GET", "/v1/stats");
+    if (!resp.has_value() || !resp->ok()) {
+        if (error != nullptr)
+            *error = resp.has_value()
+                         ? "unexpected status "
+                               + std::to_string(resp->status)
+                         : client_.lastError();
+        return std::nullopt;
+    }
+    Json doc;
+    if (!Json::parse(resp->body, doc)
+        || doc.type() != Json::Type::Object) {
+        if (error != nullptr)
+            *error = "stats response is not a JSON object";
+        return std::nullopt;
+    }
+    return doc;
 }
 
 std::unique_ptr<ResultStore>

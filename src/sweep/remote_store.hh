@@ -80,6 +80,17 @@ class RemoteResultStore final : public ResultStore
     /** One round-trip liveness probe (GET /v1/ping). */
     bool ping(std::string *error = nullptr) const;
 
+    /** The server's full /v1/ping document (capability inspection:
+     *  schema, auth mode, encodings, stats availability). */
+    std::optional<Json> pingDocument(std::string *error = nullptr) const;
+
+    /** The server's live metrics snapshot (GET /v1/stats); nullopt
+     *  when unreachable or the peer predates the route. */
+    std::optional<Json> stats(std::string *error = nullptr) const;
+
+    /** Stamp every subsequent request with this X-Smt-Trace id. */
+    void setTraceContext(const std::string &trace_id) override;
+
   private:
     std::optional<net::HttpResponse>
     exchange(const std::string &method, const std::string &resource,
@@ -95,6 +106,7 @@ class RemoteResultStore final : public ResultStore
 
     net::Url url_;
     std::string token_;
+    std::string traceId_; ///< set before the sweep's workers spin up.
     mutable std::mutex mu_; ///< one connection, serialized exchanges.
     mutable net::HttpClient client_;
 

@@ -179,6 +179,17 @@ class ResultStore
 
     /** Human-readable locator, e.g. "dir:.smtsweep-cache". */
     virtual std::string description() const = 0;
+
+    /**
+     * Adopt a trace id: a remote store stamps it on every request as
+     * the X-Smt-Trace header so the server's access log lines up with
+     * this process's trace spans. A no-op for local stores (their
+     * operations never leave the process).
+     */
+    virtual void setTraceContext(const std::string &trace_id)
+    {
+        (void)trace_id;
+    }
 };
 
 /**

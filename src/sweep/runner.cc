@@ -6,6 +6,8 @@
 #include <future>
 #include <memory>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "sweep/digest.hh"
 #include "sweep/result_store.hh"
@@ -70,7 +72,37 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         // the worker really died, on whatever host is watching.
         heartbeat = std::make_unique<MarkerHeartbeat>(
             *store, ropts.markerTtlSeconds);
+        // Stamp the trace id on every store request: from the writer
+        // when tracing locally, else straight from the environment —
+        // a coordinator's workers join its trace in the store access
+        // log even when they write no trace file of their own.
+        if (ropts.trace != nullptr)
+            store->setTraceContext(ropts.trace->traceId());
+        else if (const char *env = std::getenv(obs::kTraceEnvVar);
+                 env != nullptr && env[0] != '\0')
+            store->setTraceContext(env);
     }
+
+    // One span per digest transition, tagged with this worker's
+    // identity so a merged fleet trace attributes every measurement.
+    char hostbuf[256] = {};
+    if (::gethostname(hostbuf, sizeof hostbuf - 1) != 0)
+        hostbuf[0] = '\0';
+    const std::string host = hostbuf[0] != '\0' ? hostbuf : "unknown";
+    const auto span = [&](const char *event, const PointResult &result,
+                          double seconds = -1.0) {
+        if (ropts.trace == nullptr)
+            return;
+        Json fields = Json::object();
+        fields.set("digest", Json(result.digest));
+        fields.set("label", Json(result.point.label));
+        fields.set("pid",
+                   Json(static_cast<std::uint64_t>(::getpid())));
+        fields.set("host", Json(host));
+        if (seconds >= 0.0)
+            fields.set("seconds", Json(seconds));
+        ropts.trace->emit(event, std::move(fields));
+    };
 
     std::vector<PointResult> results(points.size());
     std::size_t done = 0, hits = 0;
@@ -110,6 +142,7 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
                 result.cached = true;
                 ++done;
                 ++hits;
+                span("hit", result);
                 report_progress();
                 if (ropts.verbose)
                     smt_inform("sweep: [hit]  %s (%s)",
@@ -130,6 +163,8 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
                 break;
             }
         }
+        if (p.duplicateOf == SIZE_MAX)
+            span("queued", result);
         // Advisory claim so any peer can tell in-progress (or, after
         // a crash, orphaned) work from pending work; the heartbeat
         // keeps its lease fresh until the entry is stored.
@@ -137,6 +172,7 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             store->markInProgress(result.digest,
                                   ropts.markerTtlSeconds);
             heartbeat->add(result.digest);
+            span("claimed", result);
         }
         if (p.duplicateOf == SIZE_MAX && ropts.measure.parallel) {
             p.runs.reserve(point.options.runs);
@@ -193,10 +229,12 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             for (double s : *p.runSeconds)
                 measure_seconds += s;
         }
+        span("run", result, measure_seconds);
         if (store) {
             heartbeat->remove(result.digest);
             store->store(result.digest, point.config, point.options,
                          result.data.stats, measure_seconds);
+            span("stored", result);
         }
         ++done;
         report_progress();

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "sim/mix_runner.hh"
 #include "sweep/json.hh"
@@ -62,6 +63,14 @@ struct RunnerOptions
     /** Invoked after each point settles (cache hit or measured) —
      *  distributed workers append heartbeat records from here. */
     std::function<void(const RunProgress &)> onProgress;
+
+    /**
+     * Trace-span sink (`--trace-out`): the runner emits one span per
+     * digest transition (queued → claimed → run → stored, plus hit)
+     * with durations and worker identity, and stamps the writer's
+     * trace id on every remote-store request. Not owned; may be null.
+     */
+    obs::TraceWriter *trace = nullptr;
 };
 
 /** Runner options honouring the SMTSIM_* measurement environment and

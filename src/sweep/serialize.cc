@@ -111,6 +111,71 @@ histogramFromJson(const Json &j, Histogram &out)
     return true;
 }
 
+Json
+perThreadJson(const std::array<std::uint64_t, kMaxThreads> &counts)
+{
+    Json arr = Json::array();
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        arr.push(Json(counts[t]));
+    return arr;
+}
+
+bool
+perThreadFromJson(const Json &obj, const char *key,
+                  std::array<std::uint64_t, kMaxThreads> &out)
+{
+    if (!obj.has(key))
+        return false;
+    const Json &arr = obj.at(key);
+    if (arr.type() != Json::Type::Array || arr.size() != kMaxThreads)
+        return false;
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+        if (arr[t].type() != Json::Type::UInt)
+            return false;
+        out[t] = arr[t].asUInt();
+    }
+    return true;
+}
+
+Json
+toJson(const StallStats &s)
+{
+    Json j = Json::object();
+    j.set("fetchActive", perThreadJson(s.fetchActive));
+    j.set("fetchIcacheMiss", perThreadJson(s.fetchIcacheMiss));
+    j.set("fetchFrontEndFull", perThreadJson(s.fetchFrontEndFull));
+    j.set("fetchNoTarget", perThreadJson(s.fetchNoTarget));
+    j.set("fetchLostSelection", perThreadJson(s.fetchLostSelection));
+    j.set("renameIQFull", perThreadJson(s.renameIQFull));
+    j.set("renameNoRegisters", perThreadJson(s.renameNoRegisters));
+    j.set("issueOperandWait", perThreadJson(s.issueOperandWait));
+    j.set("issueFuBusy", perThreadJson(s.issueFuBusy));
+    j.set("issueNoCandidatesCycles", Json(s.issueNoCandidatesCycles));
+    return j;
+}
+
+bool
+stallStatsFromJson(const Json &j, StallStats &out)
+{
+    if (j.type() != Json::Type::Object)
+        return false;
+    return perThreadFromJson(j, "fetchActive", out.fetchActive)
+           && perThreadFromJson(j, "fetchIcacheMiss", out.fetchIcacheMiss)
+           && perThreadFromJson(j, "fetchFrontEndFull",
+                                out.fetchFrontEndFull)
+           && perThreadFromJson(j, "fetchNoTarget", out.fetchNoTarget)
+           && perThreadFromJson(j, "fetchLostSelection",
+                                out.fetchLostSelection)
+           && perThreadFromJson(j, "renameIQFull", out.renameIQFull)
+           && perThreadFromJson(j, "renameNoRegisters",
+                                out.renameNoRegisters)
+           && perThreadFromJson(j, "issueOperandWait",
+                                out.issueOperandWait)
+           && perThreadFromJson(j, "issueFuBusy", out.issueFuBusy)
+           && getUInt(j, "issueNoCandidatesCycles",
+                      out.issueNoCandidatesCycles);
+}
+
 } // namespace
 
 Json
@@ -206,6 +271,7 @@ toJson(const SimStats &stats)
           toJson(stats.combinedQueuePopulation));
 
     j.set("outOfRegistersCycles", Json(stats.outOfRegistersCycles));
+    j.set("stalls", toJson(stats.stalls));
 
     j.set("condBranches", Json(stats.condBranches));
     j.set("condBranchMispredicts", Json(stats.condBranchMispredicts));
@@ -261,6 +327,12 @@ simStatsFromJson(const Json &j, SimStats &out)
         || !getUInt(j, "jumps", stats.jumps)
         || !getUInt(j, "jumpMispredicts", stats.jumpMispredicts)
         || !getUInt(j, "misfetches", stats.misfetches))
+        return false;
+
+    // Required like every other field: an entry written before the
+    // stall counters existed degrades to a cache miss.
+    if (!j.has("stalls") || !stallStatsFromJson(j.at("stalls"),
+                                                stats.stalls))
         return false;
 
     if (!j.has("combinedQueuePopulation")

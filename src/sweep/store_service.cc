@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <chrono>
+
 #include "common/logging.hh"
 #include "common/lz.hh"
+#include "obs/trace.hh"
 #include "sweep/digest.hh"
 
 namespace smt::sweep
@@ -55,6 +58,14 @@ v1Segments(const std::string &target)
     return segments;
 }
 
+/** The metric label for a request: its /v1 resource kind. */
+std::string
+routeLabel(const std::string &target)
+{
+    const std::vector<std::string> path = v1Segments(target);
+    return path.empty() ? "other" : path[0];
+}
+
 } // namespace
 
 std::string
@@ -102,18 +113,41 @@ StoreService::authorized(const net::HttpRequest &req) const
 net::HttpResponse
 StoreService::handle(const net::HttpRequest &req)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     net::HttpResponse resp;
     if (!authorized(req)) {
         // Rejected before dispatch: an unauthenticated peer can not
         // probe which resources exist, let alone touch them.
         resp = plain(401, "authorization required\n");
         resp.headers.set("WWW-Authenticate", "Bearer");
+        metrics_.counter("store.auth.failures").inc();
     } else {
         resp = dispatch(req);
     }
-    if (verbose_)
-        smt_inform("smtstore: %s %s -> %d", req.method.c_str(),
-                   req.target.c_str(), resp.status);
+
+    const std::uint64_t us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const std::string route = routeLabel(req.target);
+    metrics_.counter("store.requests." + route).inc();
+    metrics_.counter("store.bytes_in." + route).inc(req.body.size());
+    metrics_.counter("store.bytes_out." + route).inc(resp.body.size());
+    metrics_
+        .histogram("store.latency_us." + route,
+                   obs::defaultLatencyBoundsUs())
+        .observe(us);
+
+    if (verbose_) {
+        // The operator's access log: enough to debug fleet traffic
+        // (and line it up with client trace spans) without a rebuild.
+        std::string trace = req.headers.get(obs::kTraceHeader);
+        if (trace.empty())
+            trace = "-";
+        smt_inform("smtstore: %s %s -> %d %zuB %.1fms trace=%s",
+                   req.method.c_str(), req.target.c_str(), resp.status,
+                   resp.body.size(), us / 1000.0, trace.c_str());
+    }
     return resp;
 }
 
@@ -138,6 +172,30 @@ StoreService::dispatch(const net::HttpRequest &req)
         encodings.push(Json(kLzEncodingName));
         doc.set("encodings", std::move(encodings));
         doc.set("auth", Json(token_.empty() ? "none" : "bearer"));
+        // Capability bit for /v1/stats, so clients can tell a server
+        // without the route from one that is rejecting them.
+        doc.set("stats", Json(true));
+        return jsonResponse(200, doc);
+    }
+
+    if (kind == "stats" && path.size() == 1) {
+        if (req.method != "GET")
+            return plain(405);
+        // Identity first, then the live registry snapshot. The
+        // snapshot excludes this request itself (its counters are
+        // recorded after dispatch returns).
+        Json doc = Json::object();
+        doc.set("service", Json("smtstore"));
+        doc.set("schema", Json(kDigestSchema));
+        const double uptime =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - started_)
+                .count() /
+            1e6;
+        doc.set("uptimeSeconds", Json(uptime));
+        const Json snap = metrics_.snapshot();
+        for (const auto &[key, value] : snap.items())
+            doc.set(key, value);
         return jsonResponse(200, doc);
     }
 
@@ -229,6 +287,10 @@ StoreService::dispatch(const net::HttpRequest &req)
         if (req.method == "HEAD" || req.method == "GET") {
             const std::optional<std::string> text =
                 store_.cache().readEntryText(digest);
+            metrics_
+                .counter(text.has_value() ? "store.entries.hits"
+                                          : "store.entries.misses")
+                .inc();
             if (!text.has_value())
                 return plain(404);
             net::HttpResponse resp;
@@ -378,14 +440,21 @@ StoreService::dispatch(const net::HttpRequest &req)
         // its response was torn — the client's transparent retry
         // must see success, not a spurious conflict.
         std::lock_guard<std::mutex> lock(mu_);
-        if (store_.cache().readEntryText(digest).has_value())
+        if (store_.cache().readEntryText(digest).has_value()) {
+            metrics_.counter("store.claims.done").inc();
             return plain(409, "already done\n");
+        }
         const std::string current = store_.readMarkerText(digest);
-        if (sameMarkerOwner(current, claim.at("marker")))
+        if (sameMarkerOwner(current, claim.at("marker"))) {
+            metrics_.counter("store.claims.retried").inc();
             return plain(200, "already claimed\n");
-        if (current != claim.at("expect").asString())
+        }
+        if (current != claim.at("expect").asString()) {
+            metrics_.counter("store.claims.lost").inc();
             return plain(409, "marker moved\n");
+        }
         store_.writeMarker(digest, claim.at("marker"));
+        metrics_.counter("store.claims.won").inc();
         return plain(200, "claimed\n");
     }
 

@@ -68,10 +68,12 @@
 #ifndef SMT_SWEEP_STORE_SERVICE_HH
 #define SMT_SWEEP_STORE_SERVICE_HH
 
+#include <chrono>
 #include <mutex>
 #include <string>
 
 #include "net/http.hh"
+#include "obs/metrics.hh"
 #include "sweep/result_store.hh"
 
 namespace smt::sweep
@@ -93,6 +95,13 @@ class StoreService
 
     bool requiresAuth() const { return !token_.empty(); }
 
+    /**
+     * The service's instrument registry. `GET /v1/stats` snapshots it;
+     * the hosting server (tools/smtstore) attaches it to HttpServer so
+     * connection-level counters land in the same snapshot.
+     */
+    obs::Registry &metrics() { return metrics_; }
+
   private:
     net::HttpResponse dispatch(const net::HttpRequest &req);
     bool authorized(const net::HttpRequest &req) const;
@@ -101,6 +110,10 @@ class StoreService
     bool verbose_;
     std::string token_;
     std::mutex mu_;
+
+    obs::Registry metrics_;
+    std::chrono::steady_clock::time_point started_ =
+        std::chrono::steady_clock::now();
 };
 
 /** The ETag / X-Content-Digest value for a message body. */

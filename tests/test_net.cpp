@@ -559,7 +559,7 @@ TEST_F(AuthStoreTest, MissingOrWrongTokenIs401OnEveryRoute)
 {
     for (const std::string &target :
          {std::string("/v1/ping"), std::string("/v1/entries"),
-          std::string("/v1/manifest"),
+          std::string("/v1/manifest"), std::string("/v1/stats"),
           "/v1/markers/" + std::string(32, 'a')}) {
         // No credentials at all.
         std::optional<net::HttpResponse> resp = rawGet(target, "");
@@ -617,6 +617,55 @@ TEST_F(AuthStoreTest, TokenedClientWorksTokenlessClientDegradesToMisses)
     ASSERT_TRUE(ping.has_value());
     EXPECT_NE(ping->body.find("\"auth\": \"bearer\""),
               std::string::npos);
+}
+
+TEST_F(AuthStoreTest, StatsRouteServesLiveCountersBehindTheToken)
+{
+    // The ping document advertises the stats capability.
+    const std::optional<net::HttpResponse> ping =
+        rawGet("/v1/ping", "Bearer " + token_);
+    ASSERT_TRUE(ping.has_value());
+    EXPECT_NE(ping->body.find("\"stats\": true"), std::string::npos);
+
+    // Baseline snapshot through the typed client.
+    std::unique_ptr<sweep::ResultStore> client =
+        sweep::openStore(url_, token_);
+    auto *remote = static_cast<sweep::RemoteResultStore *>(client.get());
+    std::string error;
+    const std::optional<sweep::Json> before = remote->stats(&error);
+    ASSERT_TRUE(before.has_value()) << error;
+    EXPECT_EQ(before->at("service").asString(), "smtstore");
+    ASSERT_TRUE(before->has("counters"));
+    const auto counterOf = [](const sweep::Json &snap,
+                              const std::string &name) -> std::uint64_t {
+        const sweep::Json &counters = snap.at("counters");
+        return counters.has(name) ? counters.at(name).asUInt() : 0;
+    };
+
+    // Drive real traffic: one miss, one PUT, one hit.
+    const SmtConfig cfg = presets::baseSmt(1);
+    const MeasureOptions opts = tinyOptions();
+    const std::string digest = sweep::measurementDigest(cfg, opts);
+    EXPECT_FALSE(client->lookup(digest).has_value()); // miss.
+    client->store(digest, cfg, opts, measure(cfg, opts).stats, 0.5);
+    EXPECT_TRUE(client->lookup(digest).has_value()); // hit.
+
+    const std::optional<sweep::Json> after = remote->stats(&error);
+    ASSERT_TRUE(after.has_value()) << error;
+    EXPECT_GE(counterOf(*after, "store.requests.entries"),
+              counterOf(*before, "store.requests.entries") + 3);
+    EXPECT_GE(counterOf(*after, "store.entries.hits"),
+              counterOf(*before, "store.entries.hits") + 1);
+    EXPECT_GE(counterOf(*after, "store.entries.misses"),
+              counterOf(*before, "store.entries.misses") + 1);
+    EXPECT_GT(counterOf(*after, "store.bytes_in.entries"), 0u);
+
+    // Latency histograms ride the same snapshot.
+    ASSERT_TRUE(after->has("histograms"));
+    const sweep::Json &hist = after->at("histograms");
+    ASSERT_TRUE(hist.has("store.latency_us.entries"));
+    EXPECT_GE(hist.at("store.latency_us.entries").at("samples").asUInt(),
+              3u);
 }
 
 // ---- Transfer compression --------------------------------------------------

@@ -11,9 +11,15 @@
  *       present it as an Authorization bearer — the gate for serving
  *       beyond a trusted network;
  *   smtstore --ping URL
- *       probe a running server (exit 0 when it answers) — CI uses
- *       this to wait for startup without external tools. Pings a
- *       token-protected server with the same token sources.
+ *       probe a running server (exit 0 when it answers) and print its
+ *       advertised capabilities (schema, auth, transfer encodings,
+ *       stats route) — CI uses this to wait for startup without
+ *       external tools. Pings a token-protected server with the same
+ *       token sources;
+ *   smtstore --stats URL
+ *       fetch the server's live /v1/stats snapshot (request counters,
+ *       entry hit ratio, per-route latency histograms) as JSON on
+ *       stdout.
  *
  * The wire protocol (digest-keyed entries with content-digest
  * verification on both ends, x-smt-lz transfer compression, bearer
@@ -27,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "net/http_server.hh"
@@ -52,6 +59,7 @@ usage(int code)
         code == 0 ? stdout : stderr,
         "usage: smtstore --dir DIR [options]\n"
         "       smtstore --ping URL\n"
+        "       smtstore --stats URL\n"
         "\n"
         "options:\n"
         "  --dir DIR       store directory to serve (default .smtstore)\n"
@@ -63,9 +71,13 @@ usage(int code)
         "                  every request, token = P's first line\n"
         "                  ($SMTSTORE_TOKEN also works; a flag would\n"
         "                  leak the token into ps)\n"
-        "  --ping URL      probe a running server and exit (sends the\n"
-        "                  token from the same sources, if any)\n"
-        "  --verbose       log every request\n"
+        "  --ping URL      probe a running server, print its advertised\n"
+        "                  capabilities, and exit (sends the token from\n"
+        "                  the same sources, if any)\n"
+        "  --stats URL     print the server's live /v1/stats snapshot\n"
+        "                  as JSON on stdout\n"
+        "  --verbose       log every request (method, path, status,\n"
+        "                  bytes, latency, trace id)\n"
         "  --help, -h      print this help\n");
     return code;
 }
@@ -80,6 +92,7 @@ main(int argc, char **argv)
     std::string dir = ".smtstore";
     std::string bind_addr = "127.0.0.1";
     std::string ping_url;
+    std::string stats_url;
     std::string token_file;
     unsigned port = 8377;
     bool verbose = false;
@@ -115,6 +128,8 @@ main(int argc, char **argv)
             token_file = next_arg(i);
         else if (std::strcmp(arg, "--ping") == 0)
             ping_url = next_arg(i);
+        else if (std::strcmp(arg, "--stats") == 0)
+            stats_url = next_arg(i);
         else if (std::strcmp(arg, "--verbose") == 0)
             verbose = true;
         else if (std::strcmp(arg, "--help") == 0
@@ -137,17 +152,68 @@ main(int argc, char **argv)
         }
         const sweep::RemoteResultStore store(url, token);
         std::string error;
-        if (store.ping(&error)) {
-            std::printf("smtstore at %s is alive\n", ping_url.c_str());
-            return 0;
+        const std::optional<sweep::Json> doc = store.pingDocument(&error);
+        if (!doc.has_value()) {
+            std::fprintf(stderr, "smtstore: %s is not answering: %s\n",
+                         ping_url.c_str(), error.c_str());
+            return 1;
         }
-        std::fprintf(stderr, "smtstore: %s is not answering: %s\n",
-                     ping_url.c_str(), error.c_str());
-        return 1;
+        // Advertised capabilities, so an operator (or CI log reader)
+        // sees at a glance what this server speaks. Fields print
+        // whatever scalar the server sent (schema is numeric).
+        const auto scalar = [&](const char *key) -> std::string {
+            if (!doc->has(key))
+                return "?";
+            const sweep::Json &v = doc->at(key);
+            return v.type() == sweep::Json::Type::String ? v.asString()
+                                                         : v.dump();
+        };
+        std::string encodings;
+        if (doc->has("encodings")) {
+            const sweep::Json &list = doc->at("encodings");
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                if (!encodings.empty())
+                    encodings += ",";
+                encodings += list[i].asString();
+            }
+        }
+        std::printf("smtstore at %s is alive (schema %s, auth %s, "
+                    "encodings %s, stats %s)\n",
+                    ping_url.c_str(), scalar("schema").c_str(),
+                    scalar("auth").c_str(),
+                    encodings.empty() ? "identity" : encodings.c_str(),
+                    doc->has("stats") && doc->at("stats").asBool()
+                        ? "yes"
+                        : "no");
+        return 0;
+    }
+
+    if (!stats_url.empty()) {
+        net::Url url;
+        if (!net::parseUrl(stats_url, url)) {
+            std::fprintf(stderr, "smtstore: malformed URL \"%s\"\n",
+                         stats_url.c_str());
+            return 2;
+        }
+        const sweep::RemoteResultStore store(url, token);
+        std::string error;
+        const std::optional<sweep::Json> stats = store.stats(&error);
+        if (!stats.has_value()) {
+            std::fprintf(stderr, "smtstore: cannot fetch stats from "
+                                 "%s: %s\n",
+                         stats_url.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", stats->dump(2).c_str());
+        return 0;
     }
 
     sweep::StoreService service(dir, verbose, token);
     net::HttpServer server;
+    // One registry for both layers: the transport counters the server
+    // maintains and the per-route counters the service maintains all
+    // surface through the same /v1/stats snapshot.
+    server.setMetrics(&service.metrics());
     std::string error;
     if (!server.start(bind_addr, static_cast<std::uint16_t>(port),
                       [&service](const net::HttpRequest &req) {

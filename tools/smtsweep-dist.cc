@@ -27,9 +27,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "dist/coordinator.hh"
+#include "obs/trace.hh"
 #include "sweep/experiments.hh"
 #include "sweep/remote_store.hh"
 #include "sweep/result_store.hh"
@@ -85,6 +87,11 @@ usage(int code)
         "  --warmup N          warmup cycles per run\n"
         "  --runs N            rotation runs per data point\n"
         "  --serial            workers run their points serially\n"
+        "  --trace-out FILE    append sweep-level JSONL trace spans\n"
+        "                      (sweep_start, worker_exit, sweep_done)\n"
+        "                      to FILE; local workers inherit the trace\n"
+        "                      id through SMTSWEEP_TRACE_ID, so the\n"
+        "                      store access log lines up with the sweep\n"
         "  --no-progress       no live progress line on stderr\n"
         "  --status            audit the store manifest and exit\n"
         "  --verbose           verbose workers + per-point cache logs\n"
@@ -126,6 +133,7 @@ main(int argc, char **argv)
     std::string experiment;
     std::string json_path;
     std::string store_token, store_token_file;
+    std::string trace_out;
     bool status_mode = false;
 
     auto next_arg = [&](int &i) -> const char * {
@@ -223,6 +231,8 @@ main(int argc, char **argv)
             opts.ropts.measure.runs = positive(i);
         else if (std::strcmp(arg, "--serial") == 0)
             opts.ropts.measure.parallel = false;
+        else if (std::strcmp(arg, "--trace-out") == 0)
+            trace_out = next_arg(i);
         else if (std::strcmp(arg, "--no-progress") == 0)
             opts.showProgress = false;
         else if (std::strcmp(arg, "--status") == 0)
@@ -241,6 +251,14 @@ main(int argc, char **argv)
 
     opts.ropts.storeToken =
         sweep::resolveStoreToken(store_token, store_token_file);
+
+    // Must outlive runDistributed: the coordinator emits sweep-level
+    // spans through it and hands its id to workers and the store.
+    std::unique_ptr<obs::TraceWriter> trace;
+    if (!trace_out.empty()) {
+        trace = std::make_unique<obs::TraceWriter>(trace_out);
+        opts.ropts.trace = trace.get();
+    }
 
     if (status_mode)
         return dist::auditStore(opts.ropts.cacheDir,

@@ -22,10 +22,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dist/shard.hh"
+#include "obs/trace.hh"
 #include "sim/simspeed.hh"
 #include "sweep/digest.hh"
 #include "sweep/experiments.hh"
@@ -88,6 +90,13 @@ usage(int code)
         "                      of dead shards via the store claim CAS\n"
         "  --steal-wait S      grace seconds to linger for orphans\n"
         "                      (default 10)\n"
+        "  --stall-report      after each experiment: print the\n"
+        "                      per-thread per-cause stall table (fetch/\n"
+        "                      rename/issue slot losses) for every point\n"
+        "  --trace-out FILE    append one JSONL trace span per digest\n"
+        "                      transition (queued/claimed/run/stored/\n"
+        "                      hit) to FILE; the trace id also rides\n"
+        "                      X-Smt-Trace on remote-store requests\n"
         "  --verbose           log per-point cache hits/misses\n"
         "  --help, -h          print this help\n");
     return code;
@@ -136,6 +145,8 @@ main(int argc, char **argv)
     bool list = false;
     bool bench_simspeed = false;
     bool force_generic = false;
+    bool stall_report = false;
+    std::string trace_out;
     std::vector<std::string> describe;
 
     auto next_arg = [&](int &i) -> const char * {
@@ -227,6 +238,10 @@ main(int argc, char **argv)
                 return 2;
             }
         }
+        else if (std::strcmp(arg, "--stall-report") == 0)
+            stall_report = true;
+        else if (std::strcmp(arg, "--trace-out") == 0)
+            trace_out = next_arg(i);
         else if (std::strcmp(arg, "--serial") == 0)
             ropts.measure.parallel = false;
         else if (std::strcmp(arg, "--verbose") == 0)
@@ -253,6 +268,15 @@ main(int argc, char **argv)
     // touching their argv).
     ropts.storeToken =
         resolveStoreToken(store_token, store_token_file);
+
+    // The trace writer must outlive every sweep below; its id comes
+    // from SMTSWEEP_TRACE_ID when a coordinator launched us, else a
+    // fresh one is minted.
+    std::unique_ptr<smt::obs::TraceWriter> trace;
+    if (!trace_out.empty()) {
+        trace = std::make_unique<smt::obs::TraceWriter>(trace_out);
+        ropts.trace = trace.get();
+    }
 
     if (list) {
         for (const NamedExperiment &e : allExperiments())
@@ -338,6 +362,14 @@ main(int argc, char **argv)
         }
         SweepOutcome outcome = runSweep(e->spec, ropts);
         e->report(outcome);
+        if (stall_report) {
+            for (const PointResult &r : outcome.points)
+                std::printf("\nstall report: %s (%u threads)%s\n%s",
+                            r.point.label.c_str(), r.point.threads,
+                            r.cached ? " [cached]" : "",
+                            r.data.stats.stallReport(r.point.threads)
+                                .c_str());
+        }
         std::printf("sweep %s: %zu points, %u cache hits, %u misses, "
                     "%.2fs wall (pool: %u workers%s)\n",
                     outcome.spec.name.c_str(), outcome.points.size(),
