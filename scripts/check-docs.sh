@@ -62,7 +62,8 @@ if [ -n "$build" ]; then
     fi
     help_all="$("$build/smtsweep" --help
         "$build/smtsweep-dist" --help
-        "$build/smtstore" --help)"
+        "$build/smtstore" --help
+        "$build/smttrace" --help)"
     for f in "${docs[@]}"; do
         while IFS= read -r flag; do
             skip=0

@@ -226,6 +226,52 @@ LocalProcessLauncher::terminate(long handle)
     ::waitpid(static_cast<pid_t>(handle), &status, 0);
 }
 
+std::vector<std::string>
+workerShardArgs(const DistOptions &opts, const std::string &experiment,
+                unsigned jobs, unsigned shard, bool captured_progress,
+                const std::string &progress_base,
+                const std::string &trace_out)
+{
+    const std::string &locator = opts.ropts.cacheDir;
+    const bool remote_store = sweep::isRemoteStoreLocator(locator);
+    std::vector<std::string> argv = {
+        opts.smtsweepPath,
+        "--experiment", experiment,
+        "--shard",
+        std::to_string(shard) + "/" + std::to_string(opts.shards),
+        remote_store ? "--store-url" : "--cache-dir", locator,
+        "--jobs", std::to_string(jobs),
+        // Forward the measurement knobs explicitly so every worker
+        // expands and plans the identical grid whatever its
+        // environment says.
+        "--cycles", std::to_string(opts.ropts.measure.cyclesPerRun),
+        "--warmup", std::to_string(opts.ropts.measure.warmupCycles),
+        "--runs", std::to_string(opts.ropts.measure.runs),
+        "--marker-ttl",
+        std::to_string(opts.ropts.markerTtlSeconds),
+    };
+    if (captured_progress)
+        argv.push_back("--progress-stdout");
+    else {
+        argv.push_back("--progress-file");
+        argv.push_back(progressPath(progress_base, shard));
+    }
+    if (!trace_out.empty()) {
+        argv.push_back("--trace-out");
+        argv.push_back(trace_out);
+    }
+    if (opts.steal) {
+        argv.push_back("--steal");
+        argv.push_back("--steal-wait");
+        argv.push_back(std::to_string(opts.stealWaitSeconds));
+    }
+    if (!opts.ropts.measure.parallel)
+        argv.push_back("--serial");
+    if (opts.ropts.verbose)
+        argv.push_back("--verbose");
+    return argv;
+}
+
 std::unique_ptr<WorkerLauncher>
 makeLauncher(const std::string &host_list, const std::string &ssh_program)
 {
@@ -324,41 +370,25 @@ runDistributed(const sweep::NamedExperiment &experiment,
                               ? opts.jobsPerWorker
                               : std::max(1u, hw / opts.shards);
 
+    // A traced sweep hands every worker a --trace-out of its own —
+    // workers emit the per-digest spans; without this the merged
+    // trace holds only coordinator-level events. Local workers append
+    // to the coordinator's own file (TraceWriter opens in append mode
+    // and writes whole lines); remote workers get a per-shard path on
+    // their host, and against a remote store they additionally flush
+    // their spans to the server's capture (POST /v1/trace), which is
+    // the path that actually merges them.
+    auto workerTraceOut = [&](unsigned shard) -> std::string {
+        if (trace == nullptr)
+            return "";
+        if (opts.hostList.empty())
+            return trace->path();
+        return trace->path() + ".shard" + std::to_string(shard);
+    };
     auto workerArgs = [&](unsigned shard) {
-        std::vector<std::string> argv = {
-            opts.smtsweepPath,
-            "--experiment", name,
-            "--shard",
-            std::to_string(shard) + "/" + std::to_string(opts.shards),
-            remote_store ? "--store-url" : "--cache-dir", locator,
-            "--jobs", std::to_string(jobs),
-            // Forward the measurement knobs explicitly so every worker
-            // expands and plans the identical grid whatever its
-            // environment says. (The store token is deliberately NOT
-            // here — argv shows up in ps; the launcher delivers it
-            // out of band and workers read SMTSTORE_TOKEN.)
-            "--cycles", std::to_string(opts.ropts.measure.cyclesPerRun),
-            "--warmup", std::to_string(opts.ropts.measure.warmupCycles),
-            "--runs", std::to_string(opts.ropts.measure.runs),
-            "--marker-ttl",
-            std::to_string(opts.ropts.markerTtlSeconds),
-        };
-        if (captured_progress)
-            argv.push_back("--progress-stdout");
-        else {
-            argv.push_back("--progress-file");
-            argv.push_back(progressPath(progress_base, shard));
-        }
-        if (opts.steal) {
-            argv.push_back("--steal");
-            argv.push_back("--steal-wait");
-            argv.push_back(std::to_string(opts.stealWaitSeconds));
-        }
-        if (!opts.ropts.measure.parallel)
-            argv.push_back("--serial");
-        if (opts.ropts.verbose)
-            argv.push_back("--verbose");
-        return argv;
+        return workerShardArgs(opts, name, jobs, shard,
+                               captured_progress, progress_base,
+                               workerTraceOut(shard));
     };
 
     struct Worker

@@ -65,9 +65,10 @@ class WorkerLauncher
     /**
      * Hand every future worker the sweep's trace id (SMTSWEEP_TRACE_ID
      * in its environment), so worker spans and store access logs join
-     * the coordinator's trace. Local launches only — the ssh backend
-     * leaves this a no-op (sshd drops foreign env vars by default;
-     * remote workers mint their own ids).
+     * the coordinator's trace. The local backend appends it to the
+     * exec environment; the ssh backend exports it inside the remote
+     * command (sshd drops foreign env vars by default — and unlike the
+     * store token, a trace id is not a secret, so argv is fine).
      */
     virtual void setTraceId(const std::string &trace_id)
     {
@@ -126,6 +127,24 @@ class LocalProcessLauncher final : public WorkerLauncher
 std::unique_ptr<WorkerLauncher> makeLauncher(const std::string &host_list,
                                              const std::string &ssh_program
                                              = "ssh");
+
+struct DistOptions;
+
+/**
+ * The argv one worker shard is launched with (exposed so tests can
+ * pin what the coordinator forwards — notably that a traced sweep
+ * hands every worker a `--trace-out` of its own: without one, workers
+ * emit no per-digest spans at all and the merged trace silently
+ * reduces to coordinator-level events). `trace_out` is the worker's
+ * trace file path, "" for an untraced sweep. The store token is
+ * deliberately never part of this argv — it travels out of band
+ * through the launcher (argv shows up in ps).
+ */
+std::vector<std::string>
+workerShardArgs(const DistOptions &opts, const std::string &experiment,
+                unsigned jobs, unsigned shard, bool captured_progress,
+                const std::string &progress_base,
+                const std::string &trace_out);
 
 /** How to run a distributed sweep. */
 struct DistOptions

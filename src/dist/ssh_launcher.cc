@@ -32,15 +32,20 @@ shellQuoteArg(const std::string &arg)
 
 std::vector<std::string>
 sshArgv(const std::string &ssh_program, const std::string &host,
-        const std::vector<std::string> &argv, bool token_on_stdin)
+        const std::vector<std::string> &argv, bool token_on_stdin,
+        const std::string &trace_id)
 {
     // The token never rides argv: the remote shell reads it off the
     // ssh channel's stdin into the environment first. IFS= and -r
-    // keep the line byte-exact.
+    // keep the line byte-exact. The trace id is not a secret and sshd
+    // strips foreign env vars, so it is exported in the command.
     std::string command;
     if (token_on_stdin)
         command += "IFS= read -r SMTSTORE_TOKEN; "
                    "export SMTSTORE_TOKEN; ";
+    if (!trace_id.empty())
+        command += "SMTSWEEP_TRACE_ID=" + shellQuoteArg(trace_id)
+                   + "; export SMTSWEEP_TRACE_ID; ";
     command += "exec";
     for (const std::string &arg : argv) {
         command += ' ';
@@ -82,6 +87,12 @@ SshWorkerLauncher::setStoreToken(const std::string &token)
     storeToken_ = token;
 }
 
+void
+SshWorkerLauncher::setTraceId(const std::string &trace_id)
+{
+    traceId_ = trace_id;
+}
+
 long
 SshWorkerLauncher::launch(unsigned shard,
                           const std::vector<std::string> &argv)
@@ -89,7 +100,7 @@ SshWorkerLauncher::launch(unsigned shard,
     const std::string &host = hosts_[shard % hosts_.size()];
     const bool token_on_stdin = !storeToken_.empty();
     const std::vector<std::string> full =
-        sshArgv(sshProgram_, host, argv, token_on_stdin);
+        sshArgv(sshProgram_, host, argv, token_on_stdin, traceId_);
 
     std::vector<char *> cargv;
     cargv.reserve(full.size() + 1);

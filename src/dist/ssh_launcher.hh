@@ -41,12 +41,17 @@ std::string shellQuoteArg(const std::string &arg);
  * remote command first reads one line from its stdin into
  * SMTSTORE_TOKEN before exec'ing the worker — the launcher pipes the
  * store token through ssh's encrypted channel, so it never appears in
- * argv (ps) on either host.
+ * argv (ps) on either host. A non-empty `trace_id` is exported as
+ * SMTSWEEP_TRACE_ID inside the remote command (sshd drops foreign env
+ * vars; a trace id is not a secret, so the command line is fine), so
+ * remote workers join the coordinator's trace instead of minting
+ * their own ids.
  */
 std::vector<std::string> sshArgv(const std::string &ssh_program,
                                  const std::string &host,
                                  const std::vector<std::string> &argv,
-                                 bool token_on_stdin = false);
+                                 bool token_on_stdin = false,
+                                 const std::string &trace_id = "");
 
 /** Parse "hostA,hostB,user@hostC" (empty names skipped). */
 std::vector<std::string> parseHostList(const std::string &host_list);
@@ -60,6 +65,7 @@ class SshWorkerLauncher final : public WorkerLauncher
     long launch(unsigned shard,
                 const std::vector<std::string> &argv) override;
     void setStoreToken(const std::string &token) override;
+    void setTraceId(const std::string &trace_id) override;
     bool poll(long handle, int &exit_code) override;
     void wait(long handle, int &exit_code) override;
     void terminate(long handle) override;
@@ -89,6 +95,7 @@ class SshWorkerLauncher final : public WorkerLauncher
     std::vector<std::string> hosts_;
     std::string sshProgram_;
     std::string storeToken_; ///< piped to each worker's stdin.
+    std::string traceId_;    ///< exported in the remote command.
     std::map<long, Capture> captures_; ///< keyed by child pid.
 };
 

@@ -35,10 +35,34 @@ newTraceId()
     return buf;
 }
 
+bool
+validTraceId(const std::string &id)
+{
+    if (id.empty() || id.size() > 64)
+        return false;
+    for (char c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '_'
+                        || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
 double
 nowUnixSeconds()
 {
     const auto now = std::chrono::system_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(now)
+               .count() /
+           1e6;
+}
+
+double
+monoSeconds()
+{
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
     return std::chrono::duration_cast<std::chrono::microseconds>(now)
                .count() /
            1e6;
@@ -61,22 +85,26 @@ TraceWriter::~TraceWriter()
     std::fclose(f_);
 }
 
-void
+std::string
 TraceWriter::emit(const std::string &event, sweep::Json fields)
 {
     sweep::Json line = sweep::Json::object();
     line.set("ts", sweep::Json(nowUnixSeconds()));
+    line.set("mono", sweep::Json(monoSeconds()));
     line.set("event", sweep::Json(event));
     line.set("trace", sweep::Json(trace_));
     if (fields.type() == sweep::Json::Type::Object)
         for (const auto &[key, value] : fields.items())
             line.set(key, value);
 
-    const std::string text = line.dump();
-    std::lock_guard<std::mutex> lk(mu_);
-    std::fwrite(text.data(), 1, text.size(), f_);
-    std::fputc('\n', f_);
-    std::fflush(f_);
+    std::string text = line.dump();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::fwrite(text.data(), 1, text.size(), f_);
+        std::fputc('\n', f_);
+        std::fflush(f_);
+    }
+    return text;
 }
 
 } // namespace smt::obs

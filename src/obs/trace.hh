@@ -30,8 +30,21 @@ inline constexpr const char *kTraceEnvVar = "SMTSWEEP_TRACE_ID";
 /** A fresh process-unique hex trace id (no RNG dependency). */
 std::string newTraceId();
 
+/** True when `id` is safe to use as a trace id everywhere one
+ *  travels — headers, environment variables, and server-side file
+ *  names (1..64 chars of [A-Za-z0-9_-], so no path traversal). */
+bool validTraceId(const std::string &id);
+
 /** Wall-clock seconds since the Unix epoch, to microseconds. */
 double nowUnixSeconds();
+
+/**
+ * Monotonic seconds (steady clock, arbitrary epoch). Every trace
+ * event carries both clocks: wall-clock `ts` places events across
+ * hosts, monotonic `mono` + `dur_us` yield durations that survive
+ * NTP steps and cross-host clock skew.
+ */
+double monoSeconds();
 
 /**
  * A thread-safe JSONL appender. Construction opens (appends to) the
@@ -55,11 +68,15 @@ class TraceWriter
     TraceWriter &operator=(const TraceWriter &) = delete;
 
     /**
-     * Write `{"ts": ..., "event": event, "trace": traceId(), plus
-     * every key of `fields`}` as one line. `fields` must be a JSON
-     * object (or null for no extra fields).
+     * Write `{"ts": ..., "mono": ..., "event": event, "trace":
+     * traceId(), plus every key of `fields`}` as one line. `fields`
+     * must be a JSON object (or null for no extra fields). Returns
+     * the exact line written (without its newline), so a caller can
+     * buffer spans for store-side ingest (`POST /v1/trace`) without
+     * re-serializing — the server-side copy stays byte-identical to
+     * the local one, which is what lets readers deduplicate.
      */
-    void emit(const std::string &event, sweep::Json fields);
+    std::string emit(const std::string &event, sweep::Json fields);
 
     const std::string &traceId() const { return trace_; }
     const std::string &path() const { return path_; }

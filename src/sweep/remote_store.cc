@@ -82,6 +82,16 @@ RemoteResultStore::setTraceContext(const std::string &trace_id)
 }
 
 bool
+RemoteResultStore::postTrace(const std::string &jsonl)
+{
+    if (jsonl.empty())
+        return true;
+    const std::optional<net::HttpResponse> resp =
+        exchange("POST", "/v1/trace", jsonl);
+    return resp.has_value() && resp->ok();
+}
+
+bool
 RemoteResultStore::serverSupportsLz() const
 {
     int known = lzSupport_.load(std::memory_order_relaxed);

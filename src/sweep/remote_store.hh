@@ -91,6 +91,15 @@ class RemoteResultStore final : public ResultStore
     /** Stamp every subsequent request with this X-Smt-Trace id. */
     void setTraceContext(const std::string &trace_id) override;
 
+    /**
+     * Ship a batch of JSONL trace spans to the server (`POST
+     * /v1/trace`), so a remote worker's per-digest spans land in the
+     * store's <dir>/traces/ capture instead of dying with the worker's
+     * host. False when the server is unreachable or predates the route
+     * (an old peer 404s) — span loss is never an error.
+     */
+    bool postTrace(const std::string &jsonl);
+
   private:
     std::optional<net::HttpResponse>
     exchange(const std::string &method, const std::string &resource,

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "sweep/digest.hh"
+#include "sweep/remote_store.hh"
 #include "sweep/result_store.hh"
 #include "sweep/thread_pool.hh"
 
@@ -85,12 +86,19 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
 
     // One span per digest transition, tagged with this worker's
     // identity so a merged fleet trace attributes every measurement.
+    // Against a *remote* store the emitted lines are also buffered
+    // byte-identically and flushed to the server (`POST /v1/trace`)
+    // when the sweep settles — a remote worker's spans would otherwise
+    // die with its host. Both span-emitting passes run on this thread,
+    // so the buffer needs no lock.
     char hostbuf[256] = {};
     if (::gethostname(hostbuf, sizeof hostbuf - 1) != 0)
         hostbuf[0] = '\0';
     const std::string host = hostbuf[0] != '\0' ? hostbuf : "unknown";
+    auto *remote = dynamic_cast<RemoteResultStore *>(store.get());
+    std::string span_buffer;
     const auto span = [&](const char *event, const PointResult &result,
-                          double seconds = -1.0) {
+                          double seconds = -1.0, double dur_us = -1.0) {
         if (ropts.trace == nullptr)
             return;
         Json fields = Json::object();
@@ -101,7 +109,23 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         fields.set("host", Json(host));
         if (seconds >= 0.0)
             fields.set("seconds", Json(seconds));
-        ropts.trace->emit(event, std::move(fields));
+        if (dur_us >= 0.0)
+            fields.set("dur_us", Json(dur_us));
+        const std::string line =
+            ropts.trace->emit(event, std::move(fields));
+        if (remote != nullptr) {
+            span_buffer += line;
+            span_buffer += '\n';
+        }
+    };
+    // Microseconds of steady clock spent in `fn` — the dur_us stamped
+    // on hit/claimed/stored spans (store round trips).
+    const auto timed_us = [](const auto &fn) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
     };
 
     std::vector<PointResult> results(points.size());
@@ -137,12 +161,15 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         result.digest = measurementDigest(point.config, point.options);
 
         if (store) {
-            if (std::optional<SimStats> hit = store->lookup(result.digest)) {
+            std::optional<SimStats> hit;
+            const double lookup_us =
+                timed_us([&] { hit = store->lookup(result.digest); });
+            if (hit.has_value()) {
                 result.data.stats = std::move(*hit);
                 result.cached = true;
                 ++done;
                 ++hits;
-                span("hit", result);
+                span("hit", result, -1.0, lookup_us);
                 report_progress();
                 if (ropts.verbose)
                     smt_inform("sweep: [hit]  %s (%s)",
@@ -169,10 +196,12 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         // a crash, orphaned) work from pending work; the heartbeat
         // keeps its lease fresh until the entry is stored.
         if (store && p.duplicateOf == SIZE_MAX) {
-            store->markInProgress(result.digest,
-                                  ropts.markerTtlSeconds);
+            const double claim_us = timed_us([&] {
+                store->markInProgress(result.digest,
+                                      ropts.markerTtlSeconds);
+            });
             heartbeat->add(result.digest);
-            span("claimed", result);
+            span("claimed", result, -1.0, claim_us);
         }
         if (p.duplicateOf == SIZE_MAX && ropts.measure.parallel) {
             p.runs.reserve(point.options.runs);
@@ -229,16 +258,24 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             for (double s : *p.runSeconds)
                 measure_seconds += s;
         }
-        span("run", result, measure_seconds);
+        span("run", result, measure_seconds, measure_seconds * 1e6);
         if (store) {
             heartbeat->remove(result.digest);
-            store->store(result.digest, point.config, point.options,
-                         result.data.stats, measure_seconds);
-            span("stored", result);
+            const double store_us = timed_us([&] {
+                store->store(result.digest, point.config, point.options,
+                             result.data.stats, measure_seconds);
+            });
+            span("stored", result, -1.0, store_us);
         }
         ++done;
         report_progress();
     }
+
+    // Merge this worker's spans into the server-side capture. Best
+    // effort: an old server 404s and the local trace file still has
+    // everything.
+    if (remote != nullptr)
+        remote->postTrace(span_buffer);
     return results;
 }
 
@@ -263,8 +300,43 @@ runSweep(const ExperimentSpec &spec, const RunnerOptions &ropts)
     return outcome;
 }
 
+namespace
+{
+
+/** The machine-readable stall ledger for one measured point: the
+ *  per-thread per-cause counters of `stats.stalls` plus the ledger
+ *  totals — the JSON twin of `SimStats::stallReport`. */
 Json
-outcomeArtifact(const std::vector<SweepOutcome> &outcomes)
+stallLedgerJson(const SimStats &stats, unsigned num_threads)
+{
+    const StallStats &s = stats.stalls;
+    Json doc = Json::object();
+    Json threads = Json::array();
+    for (unsigned t = 0; t < num_threads && t < kMaxThreads; ++t) {
+        Json row = Json::object();
+        row.set("fetchActive", Json(s.fetchActive[t]));
+        row.set("fetchIcacheMiss", Json(s.fetchIcacheMiss[t]));
+        row.set("fetchFrontEndFull", Json(s.fetchFrontEndFull[t]));
+        row.set("fetchNoTarget", Json(s.fetchNoTarget[t]));
+        row.set("fetchLostSelection", Json(s.fetchLostSelection[t]));
+        row.set("renameIQFull", Json(s.renameIQFull[t]));
+        row.set("renameNoRegisters", Json(s.renameNoRegisters[t]));
+        row.set("issueOperandWait", Json(s.issueOperandWait[t]));
+        row.set("issueFuBusy", Json(s.issueFuBusy[t]));
+        row.set("stalled", Json(s.fetchStalled(t)));
+        threads.push(std::move(row));
+    }
+    doc.set("threads", std::move(threads));
+    doc.set("issueNoCandidatesCycles", Json(s.issueNoCandidatesCycles));
+    doc.set("totalStalledSlots", Json(s.totalStalledSlots()));
+    return doc;
+}
+
+} // namespace
+
+Json
+outcomeArtifact(const std::vector<SweepOutcome> &outcomes,
+                bool with_stalls)
 {
     Json doc = Json::object();
     doc.set("schema", Json(kDigestSchema));
@@ -289,6 +361,9 @@ outcomeArtifact(const std::vector<SweepOutcome> &outcomes)
             p.set("cycles", Json(r.data.stats.cycles));
             p.set("committedInstructions",
                   Json(r.data.stats.committedInstructions));
+            if (with_stalls)
+                p.set("stalls", stallLedgerJson(r.data.stats,
+                                                r.point.threads));
             points.push(std::move(p));
         }
         e.set("points", std::move(points));

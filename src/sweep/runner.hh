@@ -116,8 +116,16 @@ SweepOutcome runSweep(const ExperimentSpec &spec,
 std::vector<PointResult> runPoints(const std::vector<SweepPoint> &points,
                                    const RunnerOptions &ropts);
 
-/** The BENCH_sweep.json artifact body for a set of completed sweeps. */
-Json outcomeArtifact(const std::vector<SweepOutcome> &outcomes);
+/**
+ * The BENCH_sweep.json artifact body for a set of completed sweeps.
+ * With `with_stalls`, every point also carries its closed stall
+ * ledger as machine-readable JSON (`smtsweep --stall-report --json`):
+ * {"threads": [per-thread per-cause counters + "stalled"],
+ *  "issueNoCandidatesCycles", "totalStalledSlots"} — the same shape
+ * smttrace embeds in its summary under "stalls".
+ */
+Json outcomeArtifact(const std::vector<SweepOutcome> &outcomes,
+                     bool with_stalls = false);
 
 /** Write a JSON document to a file (fatal on I/O failure). */
 void writeJsonFile(const std::string &path, const Json &j);

@@ -1,8 +1,10 @@
 #include "sweep/store_service.hh"
 
 #include <algorithm>
-
 #include <chrono>
+#include <map>
+
+#include <sys/stat.h>
 
 #include "common/logging.hh"
 #include "common/lz.hh"
@@ -98,6 +100,125 @@ StoreService::StoreService(const std::string &dir, bool verbose,
 {
 }
 
+StoreService::~StoreService()
+{
+    if (accessLog_ != nullptr)
+        std::fclose(accessLog_);
+}
+
+bool
+StoreService::setAccessLog(const std::string &path, std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open access log " + path;
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(accessMu_);
+    if (accessLog_ != nullptr)
+        std::fclose(accessLog_);
+    accessLog_ = f;
+    return true;
+}
+
+void
+StoreService::logAccess(const net::HttpRequest &req,
+                        const net::HttpResponse &resp, std::uint64_t us,
+                        const std::string &route)
+{
+    // One JSONL object per request — the shape tools/smttrace joins
+    // with client spans by the trace id (docs/PROTOCOL.md spec).
+    Json rec = Json::object();
+    rec.set("ts", Json(obs::nowUnixSeconds()));
+    rec.set("mono", Json(obs::monoSeconds()));
+    rec.set("route", Json(route));
+    rec.set("method", Json(req.method));
+    rec.set("target", Json(req.target));
+    rec.set("status", Json(static_cast<std::int64_t>(resp.status)));
+    rec.set("bytes_in", Json(static_cast<std::uint64_t>(
+                            req.body.size())));
+    rec.set("bytes_out", Json(static_cast<std::uint64_t>(
+                             resp.body.size())));
+    rec.set("latency_us", Json(us));
+    rec.set("trace", Json(req.headers.get(obs::kTraceHeader)));
+    const std::string text = rec.dump();
+    std::lock_guard<std::mutex> lock(accessMu_);
+    if (accessLog_ == nullptr)
+        return;
+    std::fwrite(text.data(), 1, text.size(), accessLog_);
+    std::fputc('\n', accessLog_);
+    std::fflush(accessLog_);
+}
+
+net::HttpResponse
+StoreService::ingestTrace(const net::HttpRequest &req)
+{
+    if (req.method != "POST")
+        return plain(405);
+
+    // Batch the body's lines per trace id first so each id's capture
+    // file opens once per request, not once per span. Lines append
+    // *verbatim* — byte-identical to the worker's local copy — which
+    // is what lets readers deduplicate a span seen via both paths.
+    const std::string header_id = req.headers.get(obs::kTraceHeader);
+    std::map<std::string, std::string> batches;
+    std::uint64_t accepted = 0, skipped = 0;
+    std::size_t pos = 0;
+    while (pos <= req.body.size()) {
+        const std::size_t nl = req.body.find('\n', pos);
+        const std::size_t end =
+            nl == std::string::npos ? req.body.size() : nl;
+        if (end > pos) {
+            const std::string line = req.body.substr(pos, end - pos);
+            Json doc;
+            std::string id;
+            if (Json::parse(line, doc)
+                && doc.type() == Json::Type::Object) {
+                // The line's own trace id wins; the request header
+                // covers lines that lack one. Ids become file names,
+                // so both must pass the traversal-safe charset check.
+                if (doc.has("trace")
+                    && doc.at("trace").type() == Json::Type::String
+                    && obs::validTraceId(doc.at("trace").asString()))
+                    id = doc.at("trace").asString();
+                else if (obs::validTraceId(header_id))
+                    id = header_id;
+            }
+            if (id.empty()) {
+                ++skipped;
+            } else {
+                batches[id] += line;
+                batches[id] += '\n';
+                ++accepted;
+            }
+        }
+        if (nl == std::string::npos)
+            break;
+        pos = nl + 1;
+    }
+
+    if (!batches.empty()) {
+        const std::string traces_dir = store_.dir() + "/traces";
+        ::mkdir(traces_dir.c_str(), 0777);
+        std::lock_guard<std::mutex> lock(traceMu_);
+        for (const auto &[id, text] : batches) {
+            const std::string path = traces_dir + "/" + id + ".jsonl";
+            std::FILE *f = std::fopen(path.c_str(), "a");
+            if (f == nullptr)
+                return plain(500, "cannot persist trace capture\n");
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+        }
+    }
+
+    metrics_.counter("store.trace.spans").inc(accepted);
+    Json out = Json::object();
+    out.set("accepted", Json(accepted));
+    out.set("skipped", Json(skipped));
+    return jsonResponse(200, out);
+}
+
 bool
 StoreService::authorized(const net::HttpRequest &req) const
 {
@@ -137,6 +258,7 @@ StoreService::handle(const net::HttpRequest &req)
         .histogram("store.latency_us." + route,
                    obs::defaultLatencyBoundsUs())
         .observe(us);
+    logAccess(req, resp, us, route);
 
     if (verbose_) {
         // The operator's access log: enough to debug fleet traffic
@@ -175,8 +297,13 @@ StoreService::dispatch(const net::HttpRequest &req)
         // Capability bit for /v1/stats, so clients can tell a server
         // without the route from one that is rejecting them.
         doc.set("stats", Json(true));
+        // Likewise for POST /v1/trace span ingest.
+        doc.set("trace", Json(true));
         return jsonResponse(200, doc);
     }
+
+    if (kind == "trace" && path.size() == 1)
+        return ingestTrace(req);
 
     if (kind == "stats" && path.size() == 1) {
         if (req.method != "GET")

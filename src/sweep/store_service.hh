@@ -45,6 +45,12 @@
  *                                       already done
  *   GET    /v1/manifest                 the sweep manifest
  *   PUT    /v1/manifest                 record the manifest
+ *   POST   /v1/trace                    ingest batched JSONL trace
+ *                                       spans: each body line lands
+ *                                       verbatim in the server-side
+ *                                       <dir>/traces/<id>.jsonl for
+ *                                       its trace id, merging remote
+ *                                       workers' spans in one place
  *
  * Marker/claim mutations are serialized under one mutex, which is what
  * makes the claim CAS atomic: of N workers adopting the same orphan,
@@ -69,6 +75,7 @@
 #define SMT_SWEEP_STORE_SERVICE_HH
 
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <string>
 
@@ -87,9 +94,24 @@ class StoreService
      *  every route. */
     explicit StoreService(const std::string &dir, bool verbose = false,
                           std::string token = std::string());
+    ~StoreService();
+
+    StoreService(const StoreService &) = delete;
+    StoreService &operator=(const StoreService &) = delete;
 
     /** Handle one request (thread-safe; plug into HttpServer). */
     net::HttpResponse handle(const net::HttpRequest &req);
+
+    /**
+     * Start appending one JSONL record per request to `path`
+     * (`smtstore --access-log`): ts, mono, route, method, target,
+     * status, bytes_in, bytes_out, latency_us, and the client's
+     * X-Smt-Trace id — the server half of a sweep profile, joined to
+     * client spans by trace id (tools/smttrace). False when the file
+     * cannot be opened (`error` says why).
+     */
+    bool setAccessLog(const std::string &path,
+                      std::string *error = nullptr);
 
     const std::string &dir() const { return store_.dir(); }
 
@@ -106,10 +128,19 @@ class StoreService
     net::HttpResponse dispatch(const net::HttpRequest &req);
     bool authorized(const net::HttpRequest &req) const;
 
+    void logAccess(const net::HttpRequest &req,
+                   const net::HttpResponse &resp, std::uint64_t us,
+                   const std::string &route);
+    net::HttpResponse ingestTrace(const net::HttpRequest &req);
+
     LocalDirStore store_;
     bool verbose_;
     std::string token_;
     std::mutex mu_;
+
+    std::FILE *accessLog_ = nullptr;
+    std::mutex accessMu_; ///< serializes access-log appends only.
+    std::mutex traceMu_;  ///< serializes trace-capture appends only.
 
     obs::Registry metrics_;
     std::chrono::steady_clock::time_point started_ =

@@ -596,6 +596,54 @@ TEST(Progress, TornTrailingLinesAreIgnored)
 
 // ---- The acceptance bar ----------------------------------------------------
 
+TEST(Dist, WorkerArgvForwardsTheTraceFileAndNeverTheToken)
+{
+    dist::DistOptions opts;
+    opts.shards = 2;
+    opts.smtsweepPath = "/opt/smtsweep";
+    opts.ropts.cacheDir = "http://store:8377";
+    opts.ropts.storeToken = "super-secret-token";
+
+    const auto has = [](const std::vector<std::string> &argv,
+                        const std::string &flag) {
+        return std::find(argv.begin(), argv.end(), flag) != argv.end();
+    };
+    const auto value_after = [](const std::vector<std::string> &argv,
+                                const std::string &flag) -> std::string {
+        const auto it = std::find(argv.begin(), argv.end(), flag);
+        return it != argv.end() && it + 1 != argv.end() ? *(it + 1)
+                                                        : "";
+    };
+
+    // A traced sweep hands the worker its trace file — the fix for
+    // dist-mode span loss, where workers silently emitted nothing.
+    const std::vector<std::string> traced = dist::workerShardArgs(
+        opts, "smoke", 4, 1, true, "", "/tmp/trace.jsonl.shard1");
+    EXPECT_EQ(value_after(traced, "--trace-out"),
+              "/tmp/trace.jsonl.shard1");
+    EXPECT_EQ(value_after(traced, "--store-url"), "http://store:8377");
+    EXPECT_EQ(value_after(traced, "--shard"), "1/2");
+
+    // An untraced sweep passes no --trace-out at all.
+    const std::vector<std::string> untraced =
+        dist::workerShardArgs(opts, "smoke", 4, 0, true, "", "");
+    EXPECT_FALSE(has(untraced, "--trace-out"));
+
+    // The token travels out of band (stdin / environment), never in
+    // an argv that ps would show.
+    for (const std::vector<std::string> &argv : {traced, untraced})
+        for (const std::string &arg : argv)
+            EXPECT_EQ(arg.find("super-secret-token"),
+                      std::string::npos);
+
+    // A directory locator forwards as --cache-dir instead.
+    opts.ropts.cacheDir = "/shared/cache";
+    const std::vector<std::string> local_store =
+        dist::workerShardArgs(opts, "smoke", 1, 0, true, "", "");
+    EXPECT_EQ(value_after(local_store, "--cache-dir"), "/shared/cache");
+    EXPECT_FALSE(has(local_store, "--store-url"));
+}
+
 TEST(Dist, ShardedRunMergedFromSharedStoreMatchesSerialBitForBit)
 {
     const NamedExperiment *smoke = sweep::findExperiment("smoke");

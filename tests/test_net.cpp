@@ -26,6 +26,8 @@
 #include "dist/shard.hh"
 #include "dist/ssh_launcher.hh"
 #include "net/http.hh"
+#include "obs/trace.hh"
+#include "obs/trace_analysis.hh"
 #include "net/http_client.hh"
 #include "net/http_server.hh"
 #include "net/socket.hh"
@@ -538,14 +540,23 @@ class AuthStoreTest : public ::testing::Test
     }
 
     std::optional<net::HttpResponse>
-    rawGet(const std::string &target, const std::string &auth_header)
+    raw(const std::string &method, const std::string &target,
+        const std::string &auth_header, const std::string &body = "")
     {
         net::HttpClient client("127.0.0.1", server_.port());
         net::HttpRequest req;
+        req.method = method;
         req.target = target;
+        req.body = body;
         if (!auth_header.empty())
             req.headers.set("Authorization", auth_header);
         return client.request(req);
+    }
+
+    std::optional<net::HttpResponse>
+    rawGet(const std::string &target, const std::string &auth_header)
+    {
+        return raw("GET", target, auth_header);
     }
 
     TempDir dir_;
@@ -576,9 +587,26 @@ TEST_F(AuthStoreTest, MissingOrWrongTokenIs401OnEveryRoute)
         EXPECT_EQ(resp->status, 401);
     }
 
-    // The real token opens the door.
-    const std::optional<net::HttpResponse> resp =
+    // POST /v1/trace is a write route and sits behind the same gate:
+    // an unauthenticated peer must not be able to fill the disk with
+    // span files.
+    const std::string span_line =
+        "{\"ts\": 1.0, \"event\": \"run\", \"trace\": \"feedface00112233\"}\n";
+    for (const std::string &auth :
+         {std::string(), std::string("Bearer not-the-token"),
+          "Basic " + token_}) {
+        const std::optional<net::HttpResponse> resp =
+            raw("POST", "/v1/trace", auth, span_line);
+        ASSERT_TRUE(resp.has_value());
+        EXPECT_EQ(resp->status, 401);
+    }
+
+    // The real token opens the door (on both routes).
+    std::optional<net::HttpResponse> resp =
         rawGet("/v1/ping", "Bearer " + token_);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 200);
+    resp = raw("POST", "/v1/trace", "Bearer " + token_, span_line);
     ASSERT_TRUE(resp.has_value());
     EXPECT_EQ(resp->status, 200);
 }
@@ -666,6 +694,123 @@ TEST_F(AuthStoreTest, StatsRouteServesLiveCountersBehindTheToken)
     ASSERT_TRUE(hist.has("store.latency_us.entries"));
     EXPECT_GE(hist.at("store.latency_us.entries").at("samples").asUInt(),
               3u);
+}
+
+// ---- Trace ingest and the access log ---------------------------------------
+
+TEST_F(RemoteStoreTest, TraceIngestPersistsSpansVerbatimPerId)
+{
+    // The ping document advertises the capability.
+    net::HttpClient client("127.0.0.1", server_.port());
+    net::HttpRequest ping;
+    ping.target = "/v1/ping";
+    std::optional<net::HttpResponse> resp = client.request(ping);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_NE(resp->body.find("\"trace\": true"), std::string::npos);
+
+    // A batch mixing: two spans naming their trace id, one valid span
+    // with no id (falls back to the X-Smt-Trace header), one span
+    // whose id would escape the traces directory (falls back to the
+    // header too — the id is a file name), and one torn line
+    // (skipped).
+    const std::string own1 =
+        "{\"ts\": 1.0, \"event\": \"run\", \"trace\": \"tracepost01\"}";
+    const std::string own2 =
+        "{\"ts\": 2.0, \"event\": \"stored\", \"trace\": \"tracepost01\"}";
+    const std::string bare = "{\"ts\": 3.0, \"event\": \"hit\"}";
+    const std::string evil =
+        "{\"ts\": 4.0, \"event\": \"x\", \"trace\": \"../../escape\"}";
+    net::HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/trace";
+    req.headers.set(obs::kTraceHeader, "headerfallback1");
+    req.body = own1 + "\n" + own2 + "\n" + bare + "\n" + evil + "\n"
+               + "{\"torn\": \n";
+    resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_NE(resp->body.find("\"accepted\": 4"), std::string::npos);
+    EXPECT_NE(resp->body.find("\"skipped\": 1"), std::string::npos);
+
+    // Per-id capture files hold the lines verbatim.
+    const auto slurp = [](const std::string &path) {
+        std::ifstream in(path);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    };
+    EXPECT_EQ(slurp(dir_.path() + "/traces/tracepost01.jsonl"),
+              own1 + "\n" + own2 + "\n");
+    EXPECT_EQ(slurp(dir_.path() + "/traces/headerfallback1.jsonl"),
+              bare + "\n" + evil + "\n");
+    EXPECT_FALSE(
+        fs::exists(dir_.path() + "/traces/../../escape.jsonl"));
+
+    // A second batch appends instead of truncating.
+    req.body = own1 + "\n";
+    resp = client.request(req);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(slurp(dir_.path() + "/traces/tracepost01.jsonl"),
+              own1 + "\n" + own2 + "\n" + own1 + "\n");
+
+    // The route is POST-only.
+    net::HttpRequest get;
+    get.target = "/v1/trace";
+    resp = client.request(get);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 405);
+
+    // The typed client wrapper reports success/failure.
+    auto *remote = static_cast<sweep::RemoteResultStore *>(remote_.get());
+    EXPECT_TRUE(remote->postTrace(own1 + "\n"));
+    EXPECT_TRUE(remote->postTrace("")); // nothing to flush: trivially ok.
+}
+
+TEST_F(AuthStoreTest, AccessLogRecordsEveryExchangeWithItsTraceId)
+{
+    const std::string log_path = dir_.path() + "/access.jsonl";
+    std::string log_error;
+    ASSERT_TRUE(service_.setAccessLog(log_path, &log_error))
+        << log_error;
+
+    // Three exchanges: an authenticated ping carrying a trace id, an
+    // authenticated miss, and a rejected tokenless probe — all three
+    // must appear, including the 401 (operators audit those).
+    {
+        net::HttpClient client("127.0.0.1", server_.port());
+        net::HttpRequest req;
+        req.target = "/v1/ping";
+        req.headers.set("Authorization", "Bearer " + token_);
+        req.headers.set(obs::kTraceHeader, "feedface00112233");
+        ASSERT_TRUE(client.request(req).has_value());
+    }
+    ASSERT_TRUE(
+        rawGet("/v1/entries/" + std::string(32, 'a'), "Bearer " + token_)
+            .has_value());
+    ASSERT_TRUE(rawGet("/v1/ping", "").has_value()); // 401.
+
+    // The log parses as an smttrace access-record stream.
+    obs::TraceSet set;
+    std::string error;
+    ASSERT_TRUE(set.addFile(log_path, &error)) << error;
+    EXPECT_EQ(set.skipped, 0u);
+    ASSERT_EQ(set.access.size(), 3u);
+
+    const obs::AccessRecord &ping = set.access[0];
+    EXPECT_EQ(ping.route, "ping");
+    EXPECT_EQ(ping.method, "GET");
+    EXPECT_EQ(ping.target, "/v1/ping");
+    EXPECT_EQ(ping.status, 200);
+    EXPECT_EQ(ping.trace, "feedface00112233");
+    EXPECT_GT(ping.ts, 0.0);
+    EXPECT_GT(ping.bytesOut, 0u);
+
+    const obs::AccessRecord &miss = set.access[1];
+    EXPECT_EQ(miss.route, "entries");
+    EXPECT_EQ(miss.status, 404);
+    EXPECT_EQ(miss.trace, "");
+
+    const obs::AccessRecord &denied = set.access[2];
+    EXPECT_EQ(denied.status, 401);
 }
 
 // ---- Transfer compression --------------------------------------------------
@@ -988,6 +1133,25 @@ TEST(SshLauncher, StoreTokenRidesStdinAndNeverArgv)
     EXPECT_NE(argv.back().find("export SMTSTORE_TOKEN"),
               std::string::npos);
 
+    // The trace id is exported the same way tokens travel — inside
+    // the remote command — because sshd drops arbitrary foreign
+    // environment variables. Unlike the token it is not secret, so
+    // riding argv is fine.
+    const std::vector<std::string> traced = dist::sshArgv(
+        "ssh", "hostA", {"/opt/smtsweep", "--shard", "0/2"},
+        /*token_on_stdin=*/true, /*trace_id=*/"feedface00112233");
+    EXPECT_NE(
+        traced.back().find("SMTSWEEP_TRACE_ID='feedface00112233'"),
+        std::string::npos);
+    EXPECT_NE(traced.back().find("export SMTSWEEP_TRACE_ID"),
+              std::string::npos);
+    // The export happens before exec so the worker inherits it.
+    EXPECT_LT(traced.back().find("SMTSWEEP_TRACE_ID"),
+              traced.back().find("exec "));
+    // Without a trace id, nothing trace-shaped is in the command.
+    EXPECT_EQ(argv.back().find("SMTSWEEP_TRACE_ID"),
+              std::string::npos);
+
     // End to end through a stub ssh: the worker sees the token in
     // SMTSTORE_TOKEN, and the stub's own argv never carried it.
     TempDir dir("sshtoken");
@@ -1089,6 +1253,121 @@ TEST(RemoteStore, TwoShardSweepOverLoopbackMergesBitIdenticalToSerial)
         EXPECT_EQ(sweep::toJson(merged.points[i].data.stats).dump(),
                   sweep::toJson(reference.points[i].data.stats).dump());
     }
+}
+
+TEST(RemoteStore, TracedShardedSweepClosesTheLedgerOverLoopback)
+{
+    // The profiling acceptance bar: a 2-shard authed sweep with
+    // --trace-out and a server access log yields a merged trace in
+    // which every grid digest reaches a terminal state, the worker
+    // ledger closes (busy + idle == window), the spans the workers
+    // flushed to POST /v1/trace dedupe against their local copies,
+    // and the Chrome export is valid trace-event JSON.
+    const sweep::NamedExperiment *smoke =
+        sweep::findExperiment("smoke");
+    ASSERT_NE(smoke, nullptr);
+
+    TempDir dir("tracedsweep");
+    const std::string token = "traced-sweep-token";
+    sweep::StoreService service(dir.path(), false, token);
+    const std::string access_path = dir.path() + "/access.jsonl";
+    ASSERT_TRUE(service.setAccessLog(access_path));
+    net::HttpServer server;
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1", 0,
+                             [&service](const net::HttpRequest &req) {
+                                 return service.handle(req);
+                             },
+                             &error))
+        << error;
+    const std::string url =
+        "http://127.0.0.1:" + std::to_string(server.port());
+
+    const std::string trace_path = dir.path() + "/sweep-trace.jsonl";
+    std::size_t total_points = 0;
+    std::string trace_id;
+    {
+        // Both shards share one writer, exactly like local dist mode
+        // (one append-mode file, one trace id).
+        obs::TraceWriter writer(trace_path);
+        trace_id = writer.traceId();
+        sweep::RunnerOptions opts;
+        opts.measure = tinyOptions();
+        opts.cacheDir = url;
+        opts.storeToken = token;
+        opts.trace = &writer;
+        const dist::ShardRunResult s0 =
+            dist::runShard(smoke->spec, opts, 0, 2);
+        const dist::ShardRunResult s1 =
+            dist::runShard(smoke->spec, opts, 1, 2);
+        total_points = s0.points + s1.points;
+    }
+    ASSERT_GT(total_points, 0u);
+
+    // Merge the worker-local file, the server-side /v1/trace capture
+    // the workers flushed, and the server's access log — the exact
+    // file set a cross-host profile hands to smttrace.
+    const std::string capture =
+        dir.path() + "/traces/" + trace_id + ".jsonl";
+    ASSERT_TRUE(fs::exists(capture))
+        << "workers never flushed spans to POST /v1/trace";
+    obs::TraceSet set;
+    ASSERT_TRUE(set.addFile(trace_path, &error)) << error;
+    ASSERT_TRUE(set.addFile(capture, &error)) << error;
+    ASSERT_TRUE(set.addFile(access_path, &error)) << error;
+    EXPECT_EQ(set.skipped, 0u);
+    // Every span in the server capture is a byte-identical copy of a
+    // local one: the dedupe must have collapsed them all.
+    EXPECT_GE(set.duplicates, total_points);
+
+    const obs::TraceAnalysis analysis =
+        obs::analyzeTrace(set, trace_id);
+    EXPECT_EQ(analysis.traceId, trace_id);
+
+    // Every grid digest reached a terminal state.
+    EXPECT_EQ(analysis.digests.size(), total_points);
+    EXPECT_EQ(analysis.nonTerminal, 0u);
+    EXPECT_EQ(analysis.terminalStored, total_points);
+
+    // The ledger closes for every worker, and utilization is sane.
+    ASSERT_FALSE(analysis.workers.empty());
+    for (const obs::WorkerLedger &w : analysis.workers) {
+        EXPECT_NEAR(w.busySeconds + w.idleSeconds, w.windowSeconds,
+                    1e-6);
+        EXPECT_GE(w.utilization(), 0.0);
+        EXPECT_LE(w.utilization(), 1.0);
+    }
+
+    // The access log joined: store latency percentiles exist for the
+    // entries route, and every record carried this sweep's trace id.
+    ASSERT_FALSE(analysis.routes.empty());
+    bool saw_entries = false;
+    for (const obs::RouteLatency &r : analysis.routes)
+        if (r.route == "entries") {
+            saw_entries = true;
+            EXPECT_GT(r.count, 0u);
+            EXPECT_GE(r.maxUs, r.p50Us);
+        }
+    EXPECT_TRUE(saw_entries);
+
+    // The Chrome export is valid trace-event JSON with one complete
+    // event per run.
+    const sweep::Json chrome = obs::chromeTrace(set, trace_id);
+    sweep::Json parsed;
+    ASSERT_TRUE(sweep::Json::parse(chrome.dump(2), parsed));
+    EXPECT_EQ(parsed.at("displayTimeUnit").asString(), "ms");
+    std::size_t completes = 0;
+    const sweep::Json &events = parsed.at("traceEvents");
+    for (std::size_t i = 0; i < events.size(); ++i)
+        if (events[i].at("ph").asString() == "X")
+            ++completes;
+    EXPECT_EQ(completes, total_points);
+
+    // And the machine-readable summary agrees with the analysis.
+    const sweep::Json summary = obs::analysisSummary(analysis, set);
+    EXPECT_EQ(summary.at("schema").asString(), "smt-trace-v1");
+    EXPECT_EQ(summary.at("digests").at("nonTerminal").asUInt(), 0u);
+    EXPECT_EQ(summary.at("digests").at("total").asUInt(), total_points);
 }
 
 } // namespace

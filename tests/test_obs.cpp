@@ -212,5 +212,68 @@ TEST(Trace, IdComesFromTheEnvironmentWhenNotGiven)
     EXPECT_EQ(a.traceId().size(), 16u);
 }
 
+TEST(Trace, ExplicitIdOutranksTheEnvironment)
+{
+    // Precedence: explicit constructor arg > SMTSWEEP_TRACE_ID >
+    // fresh — a tool's --trace flag must win over an inherited
+    // coordinator id.
+    TempFile file("prec");
+    ::setenv(obs::kTraceEnvVar, "feedface00112233", 1);
+    {
+        obs::TraceWriter writer(file.path(), "explicit-id");
+        EXPECT_EQ(writer.traceId(), "explicit-id");
+    }
+    // An empty env var counts as unset, never as an empty id.
+    ::setenv(obs::kTraceEnvVar, "", 1);
+    {
+        obs::TraceWriter writer(file.path());
+        EXPECT_FALSE(writer.traceId().empty());
+    }
+    ::unsetenv(obs::kTraceEnvVar);
+}
+
+TEST(Trace, EmitStampsBothClocksAndReturnsTheExactLine)
+{
+    TempFile file("clocks");
+    obs::TraceWriter writer(file.path());
+    sweep::Json fields = sweep::Json::object();
+    fields.set("dur_us", sweep::Json(1250.0));
+    const std::string line = writer.emit("run", std::move(fields));
+
+    // The return value is the written line, byte for byte (minus the
+    // newline) — the contract store-side ingest dedup relies on.
+    std::ifstream in(file.path());
+    std::string written;
+    ASSERT_TRUE(std::getline(in, written));
+    EXPECT_EQ(written, line);
+
+    sweep::Json j;
+    ASSERT_TRUE(sweep::Json::parse(line, j));
+    EXPECT_GT(j.at("ts").asDouble(), 0.0);
+    EXPECT_GT(j.at("mono").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(j.at("dur_us").asDouble(), 1250.0);
+
+    // The monotonic clock never steps backwards between events.
+    const double m0 = obs::monoSeconds();
+    const double m1 = obs::monoSeconds();
+    EXPECT_GE(m1, m0);
+}
+
+TEST(Trace, ValidTraceIdRejectsFileSystemMetacharacters)
+{
+    // Trace ids become server-side file names (traces/<id>.jsonl);
+    // anything that could traverse or break out must be rejected.
+    EXPECT_TRUE(obs::validTraceId("feedface00112233"));
+    EXPECT_TRUE(obs::validTraceId("A-b_9"));
+    EXPECT_TRUE(obs::validTraceId(obs::newTraceId()));
+    EXPECT_FALSE(obs::validTraceId(""));
+    EXPECT_FALSE(obs::validTraceId("../../etc/passwd"));
+    EXPECT_FALSE(obs::validTraceId("a/b"));
+    EXPECT_FALSE(obs::validTraceId("a.b"));
+    EXPECT_FALSE(obs::validTraceId("a b"));
+    EXPECT_FALSE(obs::validTraceId(std::string(65, 'a')));
+    EXPECT_TRUE(obs::validTraceId(std::string(64, 'a')));
+}
+
 } // namespace
 } // namespace smt

@@ -76,6 +76,10 @@ usage(int code)
         "                  the same sources, if any)\n"
         "  --stats URL     print the server's live /v1/stats snapshot\n"
         "                  as JSON on stdout\n"
+        "  --access-log F  append one JSON object per request to F\n"
+        "                  (ts, route, method, status, bytes, latency,\n"
+        "                  trace id) — the server half of a sweep\n"
+        "                  profile; feed it to smttrace\n"
         "  --verbose       log every request (method, path, status,\n"
         "                  bytes, latency, trace id)\n"
         "  --help, -h      print this help\n");
@@ -94,6 +98,7 @@ main(int argc, char **argv)
     std::string ping_url;
     std::string stats_url;
     std::string token_file;
+    std::string access_log;
     unsigned port = 8377;
     bool verbose = false;
 
@@ -126,6 +131,8 @@ main(int argc, char **argv)
         }
         else if (std::strcmp(arg, "--token-file") == 0)
             token_file = next_arg(i);
+        else if (std::strcmp(arg, "--access-log") == 0)
+            access_log = next_arg(i);
         else if (std::strcmp(arg, "--ping") == 0)
             ping_url = next_arg(i);
         else if (std::strcmp(arg, "--stats") == 0)
@@ -178,11 +185,14 @@ main(int argc, char **argv)
             }
         }
         std::printf("smtstore at %s is alive (schema %s, auth %s, "
-                    "encodings %s, stats %s)\n",
+                    "encodings %s, stats %s, trace %s)\n",
                     ping_url.c_str(), scalar("schema").c_str(),
                     scalar("auth").c_str(),
                     encodings.empty() ? "identity" : encodings.c_str(),
                     doc->has("stats") && doc->at("stats").asBool()
+                        ? "yes"
+                        : "no",
+                    doc->has("trace") && doc->at("trace").asBool()
                         ? "yes"
                         : "no");
         return 0;
@@ -209,6 +219,13 @@ main(int argc, char **argv)
     }
 
     sweep::StoreService service(dir, verbose, token);
+    if (!access_log.empty()) {
+        std::string log_error;
+        if (!service.setAccessLog(access_log, &log_error)) {
+            std::fprintf(stderr, "smtstore: %s\n", log_error.c_str());
+            return 1;
+        }
+    }
     net::HttpServer server;
     // One registry for both layers: the transport counters the server
     // maintains and the per-route counters the service maintains all

@@ -87,11 +87,14 @@ usage(int code)
         "  --warmup N          warmup cycles per run\n"
         "  --runs N            rotation runs per data point\n"
         "  --serial            workers run their points serially\n"
-        "  --trace-out FILE    append sweep-level JSONL trace spans\n"
-        "                      (sweep_start, worker_exit, sweep_done)\n"
-        "                      to FILE; local workers inherit the trace\n"
-        "                      id through SMTSWEEP_TRACE_ID, so the\n"
-        "                      store access log lines up with the sweep\n"
+        "  --trace-out FILE    append JSONL trace spans to FILE. Every\n"
+        "                      worker is launched with a --trace-out of\n"
+        "                      its own under the coordinator's trace id:\n"
+        "                      local workers append to FILE itself,\n"
+        "                      --hosts workers write FILE.shardN on\n"
+        "                      their host and (with --store-url) flush\n"
+        "                      spans to the server's /v1/trace capture.\n"
+        "                      Analyze the merged trace with smttrace\n"
         "  --no-progress       no live progress line on stderr\n"
         "  --status            audit the store manifest and exit\n"
         "  --verbose           verbose workers + per-point cache logs\n"

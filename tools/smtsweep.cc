@@ -92,7 +92,11 @@ usage(int code)
         "                      (default 10)\n"
         "  --stall-report      after each experiment: print the\n"
         "                      per-thread per-cause stall table (fetch/\n"
-        "                      rename/issue slot losses) for every point\n"
+        "                      rename/issue slot losses) for every point;\n"
+        "                      with --json, each point of the artifact\n"
+        "                      also carries the ledger as machine-\n"
+        "                      readable \"stalls\" (smttrace --stalls\n"
+        "                      embeds it in a sweep profile)\n"
         "  --trace-out FILE    append one JSONL trace span per digest\n"
         "                      transition (queued/claimed/run/stored/\n"
         "                      hit) to FILE; the trace id also rides\n"
@@ -380,6 +384,6 @@ main(int argc, char **argv)
     }
 
     if (!json_path.empty())
-        writeJsonFile(json_path, outcomeArtifact(outcomes));
+        writeJsonFile(json_path, outcomeArtifact(outcomes, stall_report));
     return 0;
 }
