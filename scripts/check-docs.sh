@@ -63,7 +63,8 @@ if [ -n "$build" ]; then
     help_all="$("$build/smtsweep" --help
         "$build/smtsweep-dist" --help
         "$build/smtstore" --help
-        "$build/smttrace" --help)"
+        "$build/smttrace" --help
+        "$build/smtpipe" --help)"
     for f in "${docs[@]}"; do
         while IFS= read -r flag; do
             skip=0

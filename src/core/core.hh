@@ -117,6 +117,11 @@ class SmtCore
     /** "specialized" or "generic" (introspection for tests/tools). */
     const char *engineKind() const { return engine_->kind(); }
 
+    /** Attach (or with nullptr detach) a pipeline microscope; the
+     *  stages consult the pointer, the engine drives its sample
+     *  channel. See obs/pipe_trace.hh. */
+    void setPipeTrace(obs::PipeTrace *pipe) { state_.pipe = pipe; }
+
     /**
      * Check structural invariants (register conservation, program-order
      * ROBs, queue capacities). Panics on violation; for tests.

@@ -35,6 +35,7 @@
 #include "core/stages/issue.hh"
 #include "core/stages/rename_dispatch.hh"
 #include "core/stages/squash.hh"
+#include "obs/pipe_trace.hh"
 #include "policy/fetch_policy.hh"
 #include "policy/issue_policy.hh"
 
@@ -48,7 +49,7 @@ class CoreEngineT final : public CoreEngine
     CoreEngineT(PipelineState &st, std::unique_ptr<FetchPolicyT> fp,
                 std::unique_ptr<IssuePolicyT> ip)
         : fetchPolicy_(std::move(fp)), issuePolicy_(std::move(ip)),
-          squash_(st), commit_(st), execute_(st),
+          st_(st), squash_(st), commit_(st), execute_(st),
           issue_(st, *issuePolicy_), rename_(st), decode_(st),
           fetch_(st, *fetchPolicy_)
     {
@@ -64,6 +65,10 @@ class CoreEngineT final : public CoreEngine
         rename_.tick();
         decode_.tick();
         fetch_.tick();
+        // Pipetrace sample channel: after the walk, with `cycle`
+        // still naming the tick the stages just executed.
+        if (obs::PipeTrace *pipe = st_.pipe)
+            pipe->endCycle(st_);
     }
 
     void
@@ -76,6 +81,8 @@ class CoreEngineT final : public CoreEngine
         timed<StageTimes::Rename>(out, rename_);
         timed<StageTimes::Decode>(out, decode_);
         timed<StageTimes::Fetch>(out, fetch_);
+        if (obs::PipeTrace *pipe = st_.pipe)
+            pipe->endCycle(st_);
     }
 
     const policy::FetchPolicy &
@@ -115,6 +122,8 @@ class CoreEngineT final : public CoreEngine
 
     std::unique_ptr<FetchPolicyT> fetchPolicy_;
     std::unique_ptr<IssuePolicyT> issuePolicy_;
+
+    PipelineState &st_;
 
     // Stage objects, declared in tick() order; each holds a reference
     // to the shared PipelineState.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 
 namespace smt
 {
@@ -76,6 +77,8 @@ PipelineState::dropFrontEndYounger(ThreadState &ts, const DynInst *from)
         if (inst->streamIdx != kNoStreamIdx)
             min_dropped_stream = std::min(min_dropped_stream,
                                           inst->streamIdx);
+        if (pipe != nullptr)
+            pipe->onSquash(*this, inst, "misfetch");
         pool.release(inst);
     }
     // Rewind the oracle cursor for any consumed correct-path entries.

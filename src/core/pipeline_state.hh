@@ -30,6 +30,11 @@
 namespace smt
 {
 
+namespace obs
+{
+class PipeTrace;
+} // namespace obs
+
 /**
  * Per-hardware-context pipeline state.
  *
@@ -141,6 +146,15 @@ struct PipelineState
 
     unsigned rrBase = 0;     ///< round-robin rotation for fetch.
     unsigned commitBase = 0; ///< round-robin rotation for commit.
+
+    /**
+     * Opt-in pipeline microscope (obs/pipe_trace.hh); null in normal
+     * runs. Stages hoist this into a local once per tick and test it
+     * before every hook call, so the off cost is a handful of
+     * never-taken branches — pinned by the simspeed gate and the
+     * cycle-identity tests in tests/test_pipe.cpp.
+     */
+    obs::PipeTrace *pipe = nullptr;
 
     // ---- Shared helpers --------------------------------------------------
     RegisterFileState &

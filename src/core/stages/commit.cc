@@ -1,6 +1,7 @@
 #include "core/stages/commit.hh"
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 
 namespace smt
 {
@@ -8,6 +9,7 @@ namespace smt
 void
 CommitStage::tick()
 {
+    obs::PipeTrace *const pipe = st_.pipe;
     unsigned budget = st_.cfg.commitWidth;
     for (unsigned i = 0; i < st_.numThreads && budget > 0; ++i) {
         const ThreadID tid = static_cast<ThreadID>(
@@ -55,6 +57,8 @@ CommitStage::tick()
             ts.program->retireBefore(inst->streamIdx + 1);
 
             ts.rob.pop_front();
+            if (pipe != nullptr)
+                pipe->onCommit(st_, inst);
             st_.releaseInst(inst);
             --budget;
         }

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/pipe_trace.hh"
+
 namespace smt
 {
 
 void
 DecodeStage::tick()
 {
+    obs::PipeTrace *const pipe = st_.pipe;
     unsigned budget = st_.cfg.decodeWidth;
     std::array<std::size_t, kMaxThreads> idx{};
 
@@ -35,6 +38,8 @@ DecodeStage::tick()
         ThreadState &ts = st_.threads[best->tid];
         best->stage = InstStage::Decoded;
         best->decodeCycle = st_.cycle;
+        if (pipe != nullptr)
+            pipe->onDecode(st_, best);
         ++idx[best->tid];
         --budget;
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "isa/latency.hh"
+#include "obs/pipe_trace.hh"
 
 namespace smt
 {
@@ -52,6 +53,8 @@ ExecuteStage::executeInst(DynInst *inst)
     const unsigned lat = opLatency(inst->si->op);
     inst->completeCycle =
         st_.cycle + (lat > 0 ? lat - 1 : 0) + st_.commitDelta;
+    if (st_.pipe != nullptr)
+        st_.pipe->onExecComplete(st_, inst);
 
     if (inst->isControl())
         resolveControl(inst);
@@ -74,10 +77,14 @@ ExecuteStage::executeLoad(DynInst *inst)
         rf.setReadyAt(dest, kCycleNever);
         rf.setUnverifiedUntil(dest, 0);
         requeueDependents(inst->si->dest.file, dest);
+        if (st_.pipe != nullptr)
+            st_.pipe->onRequeue(st_, inst, "bank_conflict");
         return;
     }
 
     inst->stage = InstStage::Executed;
+    if (st_.pipe != nullptr)
+        st_.pipe->onExecComplete(st_, inst);
     if (r.ready <= st_.cycle) {
         // D-cache hit: the optimistic wakeup (issue + 1) was correct.
         inst->completeCycle = st_.cycle + st_.commitDelta;
@@ -104,9 +111,13 @@ ExecuteStage::executeStore(DynInst *inst)
         inst->stage = InstStage::InQueue;
         inst->iqReleaseCycle = kCycleNever;
         ++st_.frontAndQueueCount[inst->tid];
+        if (st_.pipe != nullptr)
+            st_.pipe->onRequeue(st_, inst, "bank_conflict");
         return;
     }
     inst->stage = InstStage::Executed;
+    if (st_.pipe != nullptr)
+        st_.pipe->onExecComplete(st_, inst);
     // The write-allocate fill (on a miss) completes in the background;
     // the store itself retires without waiting on it.
     inst->completeCycle = st_.cycle + st_.commitDelta;
@@ -185,6 +196,8 @@ ExecuteStage::requeueDependents(RegFile f, PhysRegIndex reg)
             ++st_.frontAndQueueCount[inst->tid];
             if (inst->isControl())
                 ++st_.branchCount[inst->tid];
+            if (st_.pipe != nullptr)
+                st_.pipe->onRequeue(st_, inst, "stale_wakeup");
             if (inst->si->dest.valid()) {
                 RegisterFileState &drf = st_.file(inst->si->dest.file);
                 drf.setReadyAt(inst->destPhys, kCycleNever);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 #include "policy/fetch_policies.hh"
 
 namespace smt
@@ -107,6 +108,7 @@ unsigned
 FetchStage<Policy>::fetchFromThread(ThreadID tid, unsigned max_insts)
 {
     ThreadState &ts = st_.threads[tid];
+    obs::PipeTrace *const pipe = st_.pipe;
     Addr pc = ts.fetchPc;
     // The fetch block: up to the end of the aligned 8-instruction
     // (32-byte) group the PC falls in — the output-bus granularity.
@@ -144,6 +146,8 @@ FetchStage<Policy>::fetchFromThread(ThreadID tid, unsigned max_insts)
         }
 
         ts.frontEnd.push_back(inst);
+        if (pipe != nullptr)
+            pipe->onFetch(st_, inst);
         ++st_.frontAndQueueCount[tid];
         if (inst->isControl())
             ++st_.branchCount[tid];

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "isa/latency.hh"
+#include "obs/pipe_trace.hh"
 #include "policy/issue_policies.hh"
 
 namespace smt
@@ -133,6 +134,11 @@ IssueStage<Policy>::issueInst(DynInst *inst)
     --st_.frontAndQueueCount[inst->tid];
     if (inst->isControl())
         --st_.branchCount[inst->tid];
+
+    // Cold branch (max issueWidth times per cycle, never in the scan
+    // loops) — the stack-local tallies above stay aliasing-free.
+    if (st_.pipe != nullptr)
+        st_.pipe->onIssue(st_, inst);
 }
 
 template <typename Policy>

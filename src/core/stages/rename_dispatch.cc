@@ -2,12 +2,15 @@
 
 #include <array>
 
+#include "obs/pipe_trace.hh"
+
 namespace smt
 {
 
 void
 RenameDispatchStage::tick()
 {
+    obs::PipeTrace *const pipe = st_.pipe;
     if (st_.intQueue.full())
         ++st_.stats.intIQFullCycles;
     if (st_.fpQueue.full())
@@ -44,6 +47,8 @@ RenameDispatchStage::tick()
             blocked[best->tid] = true;
             ++st_.stats.fetchBlockedIQFull;
             ++st_.stats.stalls.renameIQFull[best->tid];
+            if (pipe != nullptr)
+                pipe->onRenameBlocked(st_, best->tid, "iq_full");
             continue;
         }
         if (best->si->dest.valid() &&
@@ -51,6 +56,8 @@ RenameDispatchStage::tick()
             blocked[best->tid] = true;
             out_of_regs = true;
             ++st_.stats.stalls.renameNoRegisters[best->tid];
+            if (pipe != nullptr)
+                pipe->onRenameBlocked(st_, best->tid, "no_regs");
             continue;
         }
 
@@ -75,6 +82,8 @@ RenameDispatchStage::tick()
         best->renameCycle = st_.cycle;
         best->inIntQueue = &q == &st_.intQueue;
         q.insert(best);
+        if (pipe != nullptr)
+            pipe->onRename(st_, best);
 
         ts.frontEnd.pop_front();
         ts.rob.push_back(best);

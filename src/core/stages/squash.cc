@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 
 namespace smt
 {
@@ -26,6 +27,7 @@ void
 SquashStage::squashThread(ThreadID tid, DynInst *branch)
 {
     ThreadState &ts = st_.threads[tid];
+    obs::PipeTrace *const pipe = st_.pipe;
     smt_assert(!branch->wrongPath,
                "wrong-path instructions never trigger squashes");
 
@@ -37,6 +39,8 @@ SquashStage::squashThread(ThreadID tid, DynInst *branch)
         --st_.frontAndQueueCount[tid];
         if (inst->isControl())
             --st_.branchCount[tid];
+        if (pipe != nullptr)
+            pipe->onSquash(st_, inst, "mispredict");
         st_.pool.release(inst);
     }
 
@@ -46,6 +50,8 @@ SquashStage::squashThread(ThreadID tid, DynInst *branch)
         DynInst *inst = ts.rob.back();
         ts.rob.pop_back();
         squashed_.push_back(inst);
+        if (pipe != nullptr)
+            pipe->onSquash(st_, inst, "mispredict");
 
         if (inst->si->dest.valid()) {
             st_.file(inst->si->dest.file)

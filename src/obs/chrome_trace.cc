@@ -1,0 +1,114 @@
+#include "obs/chrome_trace.hh"
+
+#include <utility>
+
+namespace smt::obs
+{
+
+namespace
+{
+
+sweep::Json
+metaEvent(const char *kind, std::uint64_t pid, std::uint64_t tid,
+          const std::string &name)
+{
+    sweep::Json m = sweep::Json::object();
+    m.set("ph", sweep::Json("M"));
+    m.set("name", sweep::Json(kind));
+    m.set("pid", sweep::Json(pid));
+    m.set("tid", sweep::Json(tid));
+    sweep::Json args = sweep::Json::object();
+    args.set("name", sweep::Json(name));
+    m.set("args", std::move(args));
+    return m;
+}
+
+} // namespace
+
+void
+ChromeTraceBuilder::processName(std::uint64_t pid,
+                                const std::string &name)
+{
+    events_.push(metaEvent("process_name", pid, 0, name));
+}
+
+void
+ChromeTraceBuilder::threadName(std::uint64_t pid, std::uint64_t tid,
+                               const std::string &name)
+{
+    events_.push(metaEvent("thread_name", pid, tid, name));
+}
+
+std::uint64_t
+ChromeTraceBuilder::lane(const std::string &group, double start_us,
+                         double end_us)
+{
+    std::vector<double> &ends = lanes_[group];
+    std::size_t lane = 0;
+    for (; lane < ends.size(); ++lane) {
+        if (ends[lane] <= start_us)
+            break;
+    }
+    if (lane == ends.size())
+        ends.push_back(-1.0);
+    ends[lane] = end_us;
+    return static_cast<std::uint64_t>(lane);
+}
+
+std::size_t
+ChromeTraceBuilder::laneCount(const std::string &group) const
+{
+    const auto it = lanes_.find(group);
+    return it == lanes_.end() ? 0 : it->second.size();
+}
+
+void
+ChromeTraceBuilder::complete(std::uint64_t pid, std::uint64_t tid,
+                             const std::string &name,
+                             const std::string &cat, double ts_us,
+                             double dur_us, sweep::Json args)
+{
+    sweep::Json x = sweep::Json::object();
+    x.set("ph", sweep::Json("X"));
+    x.set("name", sweep::Json(name));
+    x.set("cat", sweep::Json(cat));
+    x.set("pid", sweep::Json(pid));
+    x.set("tid", sweep::Json(tid));
+    x.set("ts", sweep::Json(ts_us));
+    x.set("dur", sweep::Json(dur_us));
+    if (!args.isNull())
+        x.set("args", std::move(args));
+    events_.push(std::move(x));
+}
+
+void
+ChromeTraceBuilder::instant(std::uint64_t pid, std::uint64_t tid,
+                            const std::string &name,
+                            const std::string &cat, double ts_us,
+                            sweep::Json args)
+{
+    sweep::Json i = sweep::Json::object();
+    i.set("ph", sweep::Json("i"));
+    i.set("name", sweep::Json(name));
+    i.set("cat", sweep::Json(cat));
+    i.set("pid", sweep::Json(pid));
+    i.set("tid", sweep::Json(tid));
+    i.set("ts", sweep::Json(ts_us));
+    i.set("s", sweep::Json("t"));
+    if (!args.isNull())
+        i.set("args", std::move(args));
+    events_.push(std::move(i));
+}
+
+sweep::Json
+ChromeTraceBuilder::build()
+{
+    sweep::Json doc = sweep::Json::object();
+    doc.set("displayTimeUnit", sweep::Json("ms"));
+    doc.set("traceEvents", std::move(events_));
+    events_ = sweep::Json::array();
+    lanes_.clear();
+    return doc;
+}
+
+} // namespace smt::obs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A shared builder for Chrome trace-event JSON documents.
+ *
+ * Both offline analyzers (`smttrace` for sweep profiles, `smtpipe`
+ * for pipeline microscopes) render their timelines as the trace-event
+ * format understood by Perfetto and chrome://tracing. The builder
+ * owns the mechanics those exports have in common:
+ *
+ *  - metadata events naming processes and threads;
+ *  - complete ("X") spans and instant ("i") markers;
+ *  - greedy lane allocation, so spans that overlap in time within one
+ *    track fan out side by side instead of stacking (Chrome nests
+ *    only properly-contained events).
+ *
+ * Callers decide what a "process" and a "thread" mean for their
+ * domain (worker host/pid for sweeps, hardware thread x pipeline
+ * stage for pipetraces) and feed spans in start order when they want
+ * deterministic lane assignment.
+ */
+
+#ifndef SMT_OBS_CHROME_TRACE_HH
+#define SMT_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/json.hh"
+
+namespace smt::obs
+{
+
+/** Incrementally builds one Chrome trace-event document. */
+class ChromeTraceBuilder
+{
+  public:
+    /** Emit a process_name metadata event for @p pid. */
+    void processName(std::uint64_t pid, const std::string &name);
+
+    /** Emit a thread_name metadata event for @p pid / @p tid. */
+    void threadName(std::uint64_t pid, std::uint64_t tid,
+                    const std::string &name);
+
+    /**
+     * Allocate a lane in @p group for a span covering
+     * [@p start_us, @p end_us): the lowest-numbered lane whose last
+     * span ended at or before @p start_us is reused, otherwise a new
+     * lane opens. Feed spans sorted by start time for the compact
+     * packing the analyzers' tests pin.
+     */
+    std::uint64_t lane(const std::string &group, double start_us,
+                       double end_us);
+
+    /** Number of lanes @p group has opened so far. */
+    std::size_t laneCount(const std::string &group) const;
+
+    /** Emit a complete ("X") span. Pass a null @p args to omit it. */
+    void complete(std::uint64_t pid, std::uint64_t tid,
+                  const std::string &name, const std::string &cat,
+                  double ts_us, double dur_us,
+                  sweep::Json args = sweep::Json());
+
+    /** Emit a thread-scoped instant ("i") marker. */
+    void instant(std::uint64_t pid, std::uint64_t tid,
+                 const std::string &name, const std::string &cat,
+                 double ts_us, sweep::Json args = sweep::Json());
+
+    /** Number of events emitted so far. */
+    std::size_t size() const { return events_.size(); }
+
+    /**
+     * Finish the document: `{"displayTimeUnit": "ms",
+     * "traceEvents": [...]}` with events in emission order. The
+     * builder is left empty.
+     */
+    sweep::Json build();
+
+  private:
+    sweep::Json events_ = sweep::Json::array();
+    /** Per-group lane end times (µs), indexed by lane number. */
+    std::map<std::string, std::vector<double>> lanes_;
+};
+
+} // namespace smt::obs
+
+#endif // SMT_OBS_CHROME_TRACE_HH

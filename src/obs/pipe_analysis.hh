@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Pipetrace analysis: reconstruct per-instruction pipeline timelines
+ * from the JSONL streams `obs::PipeTrace` writes, and render them as
+ * stage-latency percentiles, per-thread slot shares, wrong-path
+ * waste, IQ residency by op class, a human report, a machine-readable
+ * summary (schema `smt-pipe-v1`), and a Chrome trace-event export
+ * whose lanes are thread x pipeline stage.
+ *
+ * Input rides the same tolerant reader as sweep traces
+ * (`obs::TraceSet`): a pipe file may interleave many runs' streams —
+ * each `PipeTrace` mints its own trace id — plus foreign lines, torn
+ * tails, and duplicates, none of which is fatal. The analyzer
+ * demultiplexes by trace id and treats any id that carries pipe
+ * events as one stream.
+ */
+
+#ifndef SMT_OBS_PIPE_ANALYSIS_HH
+#define SMT_OBS_PIPE_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/trace_analysis.hh"
+#include "sweep/json.hh"
+
+namespace smt::obs
+{
+
+/** One traced instruction's reconstructed lifecycle. */
+struct PipeInst
+{
+    InstSeqNum seq = 0;
+    unsigned tid = 0;
+    std::uint64_t pc = 0;
+    std::string op;          ///< opClassName at fetch.
+    bool wrongPath = false;
+    bool optimistic = false; ///< issued on an unverified load wakeup.
+    Cycle fetch = kCycleNever;
+    Cycle decode = kCycleNever;
+    Cycle rename = kCycleNever;
+    Cycle issue = kCycleNever; ///< last issue (requeues re-issue).
+    Cycle exec = kCycleNever;
+    Cycle commit = kCycleNever;
+    Cycle squash = kCycleNever;
+    std::string squashCause; ///< mispredict | misfetch | drain.
+    std::string squashStage; ///< stage it died in ("" for drain).
+    unsigned requeues = 0;   ///< bank_conflict + stale_wakeup returns.
+
+    bool committed() const { return commit != kCycleNever; }
+    bool squashed() const { return squash != kCycleNever; }
+    /** Every traced instruction must end in exactly one of these —
+     *  the closure `smtpipe --check` gates on. */
+    bool terminal() const { return committed() || squashed(); }
+};
+
+/** One `sample` timeline point (the `--pipe-sample` channel). */
+struct PipeSample
+{
+    Cycle cyc = 0;
+    std::vector<std::uint64_t> iq;      ///< per-thread IQ entries.
+    std::vector<std::uint64_t> fe;      ///< per-thread front-end+IQ.
+    std::vector<std::uint64_t> fetched; ///< cumulative per thread.
+    std::vector<std::uint64_t> issued;  ///< cumulative per thread.
+    std::uint64_t intq = 0;
+    std::uint64_t fpq = 0;
+    sweep::Json stalls; ///< cumulative stall-ledger arrays.
+};
+
+/** One run's stream, keyed by its trace id. */
+struct PipeStream
+{
+    std::string id;
+    bool hasStart = false;
+    bool hasDone = false; ///< absent => truncated file.
+    std::string label;    ///< runner meta, when present.
+    std::string digest;
+    std::uint64_t run = 0;
+    unsigned threads = 0; ///< meta value, else max seen tid + 1.
+    Cycle windowFirst = 0;
+    Cycle windowLast = kCycleNever;
+    std::uint64_t samplePeriod = 0;
+    std::uint64_t drained = 0; ///< open lifecycles closed at finish().
+    std::vector<PipeInst> insts;      ///< seq-ascending.
+    std::vector<PipeSample> samples;  ///< cycle-ascending.
+    std::uint64_t renameBlockedIqFull = 0;
+    std::uint64_t renameBlockedNoRegs = 0;
+    Cycle firstCycle = kCycleNever;
+    Cycle lastCycle = 0;
+};
+
+/** Count/percentile summary of one latency population (cycles). */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Everything the analyzer derives from one corpus. */
+struct PipeAnalysis
+{
+    std::vector<PipeStream> streams;
+
+    // Aggregates over every stream.
+    std::size_t instructions = 0;
+    std::size_t committed = 0;
+    std::size_t squashed = 0; ///< incl. drained.
+    std::size_t open = 0;     ///< non-terminal — closure violations.
+    std::size_t drained = 0;
+    std::size_t wrongPathFetched = 0;
+    std::size_t wrongPathIssued = 0;
+    std::size_t requeues = 0;
+    std::uint64_t renameBlockedIqFull = 0;
+    std::uint64_t renameBlockedNoRegs = 0;
+    std::size_t missingStart = 0; ///< streams without pipe_start.
+    std::size_t missingDone = 0;  ///< streams without pipe_done.
+    unsigned threads = 0;         ///< max across streams.
+
+    /** Stage-to-stage transition latencies: fetchToDecode,
+     *  decodeToRename, renameToIssue, issueToExec, execToCommit,
+     *  fetchToCommit. */
+    std::map<std::string, LatencySummary> stageLatency;
+
+    /** rename->issue residency, split by op class. */
+    std::map<std::string, LatencySummary> iqResidencyByOp;
+
+    /** Per-thread shares of traced work, from the last sample of the
+     *  stream with the most samples (empty without sampling). */
+    std::vector<std::uint64_t> fetchSlots;
+    std::vector<std::uint64_t> issueSlots;
+};
+
+/** Reconstruct streams and aggregates from an ingested corpus. */
+PipeAnalysis analyzePipe(const TraceSet &set);
+
+/** Machine-readable summary (schema "smt-pipe-v1"). */
+sweep::Json pipeSummary(const PipeAnalysis &analysis,
+                        const TraceSet &set);
+
+/** Human-readable report. */
+std::string pipeReport(const PipeAnalysis &analysis,
+                       const TraceSet &set);
+
+/**
+ * Chrome trace-event export of one stream (the given trace id, or
+ * the stream with the most instructions when empty): one Chrome
+ * process per hardware thread, one lane group per pipeline stage
+ * (front-end, decode wait, queue, exec pipe, ROB wait), spans fanned
+ * out so overlapping instructions sit side by side, squashes as
+ * instants. 1 simulated cycle = 1 µs.
+ */
+sweep::Json pipeChromeTrace(const PipeAnalysis &analysis,
+                            const std::string &trace_id = "");
+
+/**
+ * The `--check` gate. Returns a non-empty list of human-readable
+ * problems when: the corpus holds no pipe stream at all; a stream is
+ * missing its `pipe_start` or `pipe_done` line (truncated file); or
+ * any traced instruction never reached commit or squash.
+ */
+std::vector<std::string> checkPipe(const PipeAnalysis &analysis);
+
+} // namespace smt::obs
+
+#endif // SMT_OBS_PIPE_ANALYSIS_HH

@@ -1,5 +1,7 @@
 #include "obs/trace_analysis.hh"
 
+#include "obs/chrome_trace.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -620,34 +622,14 @@ chromeTrace(const TraceSet &set, const std::string &trace_id)
         }
     }
 
-    sweep::Json events = sweep::Json::array();
-    const auto meta = [&events](std::uint64_t pid,
-                                const std::string &name) {
-        sweep::Json m = sweep::Json::object();
-        m.set("ph", sweep::Json("M"));
-        m.set("name", sweep::Json("process_name"));
-        m.set("pid", sweep::Json(pid));
-        m.set("tid", sweep::Json(std::uint64_t(0)));
-        sweep::Json args = sweep::Json::object();
-        args.set("name", sweep::Json(name));
-        m.set("args", std::move(args));
-        events.push(std::move(m));
-    };
-    meta(0, "coordinator");
+    ChromeTraceBuilder chrome;
+    chrome.processName(0, "coordinator");
     for (const auto &[key, pid] : worker_pid)
-        meta(pid, key);
+        chrome.processName(pid, key);
 
-    // Greedy lane assignment per worker so pool-parallel runs that
-    // overlap in time render side by side instead of on top of each
-    // other (Chrome nests only properly-contained events).
-    struct Lane
-    {
-        double end = -1.0;
-    };
-    std::map<std::uint64_t, std::vector<Lane>> lanes;
-
-    // Runs first, sorted by start, so the lane allocator sees them in
-    // order; instants afterwards.
+    // Runs first, sorted by start, so the per-worker lane allocator
+    // sees them in order and pool-parallel runs that overlap in time
+    // fan out side by side; instants afterwards.
     struct RunRef
     {
         double startUs = 0.0;
@@ -673,60 +655,33 @@ chromeTrace(const TraceSet &set, const std::string &trace_id)
     for (const RunRef &ref : runs) {
         const TraceEvent &ev = *ref.ev;
         const std::uint64_t pid = worker_pid[workerKey(ev)];
-        std::vector<Lane> &worker_lanes = lanes[pid];
-        std::size_t lane = 0;
-        for (; lane < worker_lanes.size(); ++lane) {
-            if (worker_lanes[lane].end <= ref.startUs)
-                break;
-        }
-        if (lane == worker_lanes.size())
-            worker_lanes.emplace_back();
-        worker_lanes[lane].end = ref.startUs + ref.durUs;
-
-        sweep::Json x = sweep::Json::object();
-        x.set("ph", sweep::Json("X"));
-        x.set("name", sweep::Json(ev.label.empty() ? ev.digest
-                                                   : ev.label));
-        x.set("cat", sweep::Json("run"));
-        x.set("pid", sweep::Json(pid));
-        x.set("tid", sweep::Json(static_cast<std::uint64_t>(lane)));
-        x.set("ts", sweep::Json(ref.startUs));
-        x.set("dur", sweep::Json(ref.durUs));
+        const std::uint64_t lane = chrome.lane(
+            workerKey(ev), ref.startUs, ref.startUs + ref.durUs);
         sweep::Json args = sweep::Json::object();
         args.set("digest", sweep::Json(ev.digest));
         if (ev.seconds >= 0.0)
             args.set("seconds", sweep::Json(ev.seconds));
-        x.set("args", std::move(args));
-        events.push(std::move(x));
+        chrome.complete(pid, lane,
+                        ev.label.empty() ? ev.digest : ev.label,
+                        "run", ref.startUs, ref.durUs,
+                        std::move(args));
     }
 
     for (const TraceEvent &ev : set.events) {
         if (ev.trace != id || ev.event == "run")
             continue;
-        sweep::Json i = sweep::Json::object();
-        i.set("ph", sweep::Json("i"));
-        i.set("name", sweep::Json(ev.event));
-        i.set("cat", sweep::Json(ev.host.empty() ? "sweep"
-                                                 : "lifecycle"));
-        i.set("pid", sweep::Json(ev.host.empty()
-                                     ? std::uint64_t(0)
-                                     : worker_pid[workerKey(ev)]));
-        i.set("tid", sweep::Json(std::uint64_t(0)));
-        i.set("ts", sweep::Json((ev.ts - t0) * 1e6));
-        i.set("s", sweep::Json("t"));
         sweep::Json args = sweep::Json::object();
         if (!ev.digest.empty())
             args.set("digest", sweep::Json(ev.digest));
         if (!ev.label.empty())
             args.set("label", sweep::Json(ev.label));
-        i.set("args", std::move(args));
-        events.push(std::move(i));
+        chrome.instant(ev.host.empty() ? 0 : worker_pid[workerKey(ev)],
+                       0, ev.event,
+                       ev.host.empty() ? "sweep" : "lifecycle",
+                       (ev.ts - t0) * 1e6, std::move(args));
     }
 
-    sweep::Json doc = sweep::Json::object();
-    doc.set("displayTimeUnit", sweep::Json("ms"));
-    doc.set("traceEvents", std::move(events));
-    return doc;
+    return chrome.build();
 }
 
 } // namespace smt::obs

@@ -13,10 +13,13 @@ namespace smt
 {
 
 SimStats
-measureRun(const SmtConfig &cfg, unsigned run, const MeasureOptions &opts)
+measureRun(const SmtConfig &cfg, unsigned run, const MeasureOptions &opts,
+           obs::PipeTrace *pipe)
 {
     Simulator sim(cfg, mixForRun(cfg.numThreads, run),
                   /*seed_salt=*/mix64(run + 1));
+    if (pipe != nullptr)
+        sim.attachPipeTrace(pipe);
     if (opts.warmupCycles > 0)
         sim.warmup(opts.warmupCycles);
     return sim.run(opts.cyclesPerRun);

@@ -17,6 +17,11 @@
 namespace smt
 {
 
+namespace obs
+{
+class PipeTrace;
+} // namespace obs
+
 /** One measured data point (the aggregate of the 8 rotation runs). */
 struct DataPoint
 {
@@ -45,9 +50,15 @@ DataPoint measure(const SmtConfig &cfg, const MeasureOptions &opts);
  * Simulate one rotation run of a data point (run r of opts.runs).
  * The unit of work the sweep engine schedules; measure() aggregates
  * runs 0..opts.runs-1 in run order.
+ *
+ * A non-null `pipe` attaches a pipeline microscope for the whole run
+ * (warmup included — windows are absolute cycles). Tracing is
+ * observation-only: the run's statistics are cycle-identical with and
+ * without it, and `pipe` never enters the measurement digest.
  */
 SimStats measureRun(const SmtConfig &cfg, unsigned run,
-                    const MeasureOptions &opts);
+                    const MeasureOptions &opts,
+                    obs::PipeTrace *pipe = nullptr);
 
 /** Options honouring the SMTSIM_CYCLES / SMTSIM_WARMUP / SMTSIM_RUNS /
  *  SMTSIM_SERIAL environment overrides used by the bench harness. */

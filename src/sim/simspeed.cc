@@ -5,6 +5,7 @@
 #include <fstream>
 #include <thread>
 
+#include "obs/pipe_trace.hh"
 #include "sim/simulator.hh"
 #include "workload/mix.hh"
 
@@ -77,6 +78,32 @@ measureShape(const ShapeSpec &spec, const Options &opts)
     }
     r.cyclesPerSec =
         r.seconds > 0.0 ? static_cast<double>(r.cycles) / r.seconds : 0.0;
+
+    if (opts.pipeAb) {
+        // The "tracing on" arm: identical simulation, full admission
+        // window, lines formatted and flushed — but to /dev/null, so
+        // the ratio isolates the tracer's own cost from disk speed.
+        obs::PipeTraceSink sink("/dev/null");
+        double best = 0.0;
+        std::uint64_t cycles = 0;
+        for (unsigned rep = 0; rep < std::max(1u, opts.repeats); ++rep) {
+            Simulator sim(spec.cfg, spec.mix, /*seed_salt=*/0,
+                          opts.dispatch);
+            obs::PipeTrace pipe(sink, obs::PipeTraceOptions{});
+            sim.attachPipeTrace(&pipe);
+            sim.warmup(opts.warmupCycles);
+            const auto t0 = std::chrono::steady_clock::now();
+            sim.run(opts.measureCycles);
+            const double secs = secondsSince(t0);
+            pipe.finish();
+            if (rep == 0 || secs < best) {
+                best = secs;
+                cycles = sim.stats().cycles;
+            }
+        }
+        r.cyclesPerSecPipeOn =
+            best > 0.0 ? static_cast<double>(cycles) / best : 0.0;
+    }
 
     if (opts.stageBreakdown) {
         // A separate instrumented pass: the two clock reads per stage
@@ -157,6 +184,14 @@ toJson(const std::vector<ShapeResult> &results, const Options &opts)
         s.set("ipc", sweep::Json(r.ipc));
         s.set("seconds", sweep::Json(r.seconds));
         s.set("cycles_per_sec", sweep::Json(r.cyclesPerSec));
+        if (r.cyclesPerSecPipeOn > 0.0) {
+            s.set("cycles_per_sec_pipe_on",
+                  sweep::Json(r.cyclesPerSecPipeOn));
+            s.set("pipe_on_ratio",
+                  sweep::Json(r.cyclesPerSec > 0.0
+                                  ? r.cyclesPerSecPipeOn / r.cyclesPerSec
+                                  : 0.0));
+        }
         sweep::Json stages = sweep::Json::object();
         for (unsigned i = 0; i < StageTimes::kNumStages; ++i)
             stages.set(StageTimes::stageName(i),
@@ -194,6 +229,29 @@ formatTable(const std::vector<ShapeResult> &results)
                                       static_cast<double>(total)
                                 : 0.0);
         out += line;
+    }
+
+    bool any_ab = false;
+    for (const ShapeResult &r : results)
+        any_ab = any_ab || r.cyclesPerSecPipeOn > 0.0;
+    if (any_ab) {
+        out += "\npipetrace A/B (off = gated number; on = full-window "
+               "trace to /dev/null):\n";
+        std::snprintf(line, sizeof(line), "%-20s %11s %11s %7s\n",
+                      "shape", "off cyc/s", "on cyc/s", "on/off");
+        out += line;
+        for (const ShapeResult &r : results) {
+            if (r.cyclesPerSecPipeOn <= 0.0)
+                continue;
+            std::snprintf(line, sizeof(line),
+                          "%-20s %11.0f %11.0f %6.2fx\n",
+                          r.name.c_str(), r.cyclesPerSec,
+                          r.cyclesPerSecPipeOn,
+                          r.cyclesPerSec > 0.0
+                              ? r.cyclesPerSecPipeOn / r.cyclesPerSec
+                              : 0.0);
+            out += line;
+        }
     }
     return out;
 }

@@ -56,6 +56,13 @@ struct Options
     unsigned repeats = 3; ///< best-of-N wall-clock (noise rejection).
     bool stageBreakdown = true;
     CoreDispatch dispatch = CoreDispatch::Auto;
+
+    /** A/B the pipeline microscope (`--pipe-ab`): also measure each
+     *  shape with a full-window `obs::PipeTrace` streaming to
+     *  /dev/null, so the cost of tracing *on* is a printed ratio —
+     *  and the gated `cycles_per_sec` (hook compiled in but off)
+     *  stays the headline number. */
+    bool pipeAb = false;
 };
 
 /** One shape's measurement. */
@@ -72,6 +79,11 @@ struct ShapeResult
     double ipc = 0.0;
     double seconds = 0.0;      ///< best repeat's wall-clock.
     double cyclesPerSec = 0.0; ///< cycles / seconds (the gated metric).
+
+    /** Throughput with a full-window pipetrace attached (to
+     *  /dev/null); 0 when the A/B pass was not requested. Never
+     *  gated — tracing is allowed to cost what it costs. */
+    double cyclesPerSecPipeOn = 0.0;
 
     /** Wall-clock per stage over one tickTimed() pass (not part of the
      *  throughput number above, which times plain tick()). */

@@ -54,8 +54,19 @@ class Simulator
     const SimStats &run(std::uint64_t max_cycles,
                         std::uint64_t max_instructions = 0);
 
-    /** Run `cycles` then discard all statistics gathered so far. */
+    /** Run `cycles` then discard all statistics gathered so far.
+     *  Note the *cycle counter* is not reset — pipetrace windows are
+     *  absolute machine cycles and include warmup. */
     void warmup(std::uint64_t cycles);
+
+    /** Attach a pipeline microscope for subsequent run()/warmup()
+     *  cycles (nullptr detaches). Caller keeps ownership and must
+     *  outlive the attachment. */
+    void
+    attachPipeTrace(obs::PipeTrace *pipe)
+    {
+        core_->setPipeTrace(pipe);
+    }
 
     const SimStats &stats() const { return stats_; }
     SmtCore &core() { return *core_; }

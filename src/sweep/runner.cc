@@ -58,6 +58,30 @@ SweepOutcome::sweepFor(const std::vector<std::size_t> &axis_choice,
     return sweep;
 }
 
+namespace
+{
+
+/** One pipetrace stream for one rotation run, when `--pipe-out` is
+ *  active (null otherwise). The meta rides the stream's `pipe_start`
+ *  line so smtpipe can label what it reconstructs. */
+std::unique_ptr<obs::PipeTrace>
+makePipeTrace(const RunnerOptions &ropts, const std::string &digest,
+              const SweepPoint &point, unsigned run)
+{
+    if (ropts.pipeSink == nullptr)
+        return nullptr;
+    Json meta = Json::object();
+    meta.set("digest", Json(digest));
+    meta.set("label", Json(point.label));
+    meta.set("run", Json(static_cast<std::uint64_t>(run)));
+    meta.set("threads",
+             Json(static_cast<std::uint64_t>(point.threads)));
+    return std::make_unique<obs::PipeTrace>(
+        *ropts.pipeSink, ropts.pipeOptions, std::move(meta));
+}
+
+} // namespace
+
 std::vector<PointResult>
 runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
 {
@@ -208,13 +232,20 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
             p.runSeconds = std::make_shared<std::vector<double>>(
                 point.options.runs, 0.0);
             // The SweepPoint lives in the caller's vector for the whole
-            // sweep; capture by reference.
+            // sweep; capture by reference. `result` (for the digest)
+            // and `ropts` outlive the pool work the same way.
             for (unsigned r = 0; r < point.options.runs; ++r) {
                 auto seconds = p.runSeconds;
-                p.runs.push_back(pool.submit([&point, r, seconds] {
+                p.runs.push_back(pool.submit([&point, r, seconds,
+                                              &ropts, &result] {
                     const auto t0 = std::chrono::steady_clock::now();
-                    SimStats stats =
-                        measureRun(point.config, r, point.options);
+                    std::unique_ptr<obs::PipeTrace> pipe =
+                        makePipeTrace(ropts, result.digest, point, r);
+                    SimStats stats = measureRun(point.config, r,
+                                                point.options,
+                                                pipe.get());
+                    if (pipe != nullptr)
+                        pipe->finish();
                     (*seconds)[r] = std::chrono::duration<double>(
                                         std::chrono::steady_clock::now()
                                         - t0)
@@ -245,8 +276,13 @@ runPoints(const std::vector<SweepPoint> &points, const RunnerOptions &ropts)
         if (p.runs.empty()) {
             for (unsigned r = 0; r < point.options.runs; ++r) {
                 const auto t0 = std::chrono::steady_clock::now();
+                std::unique_ptr<obs::PipeTrace> pipe =
+                    makePipeTrace(ropts, result.digest, point, r);
                 result.data.stats.add(measureRun(point.config, r,
-                                                 point.options));
+                                                 point.options,
+                                                 pipe.get()));
+                if (pipe != nullptr)
+                    pipe->finish();
                 measure_seconds +=
                     std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
@@ -332,6 +368,31 @@ stallLedgerJson(const SimStats &stats, unsigned num_threads)
     return doc;
 }
 
+/** The sampled combined-IQ occupancy histogram of a point
+ *  (`PipelineState::sampleOccupancy()`, one sample per cycle):
+ *  sample count, mean population, and the non-zero buckets as
+ *  [population, cycles] pairs (the last bucket is the histogram's
+ *  overflow bin). */
+Json
+occupancyJson(const SimStats &stats)
+{
+    const Histogram &h = stats.combinedQueuePopulation;
+    Json doc = Json::object();
+    doc.set("samples", Json(h.samples()));
+    doc.set("mean", Json(h.mean()));
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < h.buckets(); ++b) {
+        if (h.bucket(b) == 0)
+            continue;
+        Json pair = Json::array();
+        pair.push(Json(static_cast<std::uint64_t>(b)));
+        pair.push(Json(h.bucket(b)));
+        buckets.push(std::move(pair));
+    }
+    doc.set("buckets", std::move(buckets));
+    return doc;
+}
+
 } // namespace
 
 Json
@@ -361,6 +422,7 @@ outcomeArtifact(const std::vector<SweepOutcome> &outcomes,
             p.set("cycles", Json(r.data.stats.cycles));
             p.set("committedInstructions",
                   Json(r.data.stats.committedInstructions));
+            p.set("occupancy", occupancyJson(r.data.stats));
             if (with_stalls)
                 p.set("stalls", stallLedgerJson(r.data.stats,
                                                 r.point.threads));

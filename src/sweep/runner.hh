@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/pipe_trace.hh"
 #include "obs/trace.hh"
 #include "sim/experiment.hh"
 #include "sim/mix_runner.hh"
@@ -71,6 +72,18 @@ struct RunnerOptions
      * trace id on every remote-store request. Not owned; may be null.
      */
     obs::TraceWriter *trace = nullptr;
+
+    /**
+     * Pipeline-microscope sink (`--pipe-out`): every rotation run the
+     * runner actually measures (cache hits replay no cycles and so
+     * trace nothing) streams its per-instruction lifecycle into this
+     * shared JSONL file as its own stream, windowed and sampled per
+     * `pipeOptions`. Deliberately outside MeasureOptions: tracing
+     * must never perturb a measurement digest. Not owned; may be
+     * null.
+     */
+    obs::PipeTraceSink *pipeSink = nullptr;
+    obs::PipeTraceOptions pipeOptions;
 };
 
 /** Runner options honouring the SMTSIM_* measurement environment and

@@ -101,6 +101,23 @@ usage(int code)
         "                      transition (queued/claimed/run/stored/\n"
         "                      hit) to FILE; the trace id also rides\n"
         "                      X-Smt-Trace on remote-store requests\n"
+        "  --pipe-out FILE     stream the pipeline microscope to FILE:\n"
+        "                      every measured rotation run appends its\n"
+        "                      per-instruction lifecycle (fetch through\n"
+        "                      commit/squash) as its own JSONL stream;\n"
+        "                      analyze with smtpipe. Cache hits replay\n"
+        "                      no cycles and trace nothing\n"
+        "  --pipe-window F:L   with --pipe-out: only trace instructions\n"
+        "                      fetched in absolute machine cycles\n"
+        "                      [F, L] (warmup cycles count; default:\n"
+        "                      every cycle — large!)\n"
+        "  --pipe-sample N     with --pipe-out: every N cycles inside\n"
+        "                      the window, emit an occupancy/stall\n"
+        "                      sample line (default 0 = off)\n"
+        "  --pipe-ab           with --bench-simspeed: also measure each\n"
+        "                      shape with a full-window pipetrace\n"
+        "                      writing to /dev/null, and print the\n"
+        "                      on/off throughput ratio\n"
         "  --verbose           log per-point cache hits/misses\n"
         "  --help, -h          print this help\n");
     return code;
@@ -150,7 +167,9 @@ main(int argc, char **argv)
     bool bench_simspeed = false;
     bool force_generic = false;
     bool stall_report = false;
+    bool pipe_ab = false;
     std::string trace_out;
+    std::string pipe_out;
     std::vector<std::string> describe;
 
     auto next_arg = [&](int &i) -> const char * {
@@ -246,6 +265,39 @@ main(int argc, char **argv)
             stall_report = true;
         else if (std::strcmp(arg, "--trace-out") == 0)
             trace_out = next_arg(i);
+        else if (std::strcmp(arg, "--pipe-out") == 0)
+            pipe_out = next_arg(i);
+        else if (std::strcmp(arg, "--pipe-window") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            ropts.pipeOptions.windowFirst =
+                std::strtoull(value, &end, 10);
+            if (end == value || *end != ':') {
+                std::fprintf(stderr,
+                             "smtsweep: --pipe-window wants FIRST:LAST "
+                             "cycles, got \"%s\"\n",
+                             value);
+                return 2;
+            }
+            const char *rest = end + 1;
+            ropts.pipeOptions.windowLast =
+                std::strtoull(rest, &end, 10);
+            if (end == rest || *end != '\0'
+                || ropts.pipeOptions.windowLast
+                       < ropts.pipeOptions.windowFirst) {
+                std::fprintf(stderr,
+                             "smtsweep: --pipe-window wants "
+                             "FIRST:LAST with FIRST <= LAST, got "
+                             "\"%s\"\n",
+                             value);
+                return 2;
+            }
+        }
+        else if (std::strcmp(arg, "--pipe-sample") == 0)
+            ropts.pipeOptions.samplePeriod =
+                std::strtoull(next_arg(i), nullptr, 10);
+        else if (std::strcmp(arg, "--pipe-ab") == 0)
+            pipe_ab = true;
         else if (std::strcmp(arg, "--serial") == 0)
             ropts.measure.parallel = false;
         else if (std::strcmp(arg, "--verbose") == 0)
@@ -282,6 +334,14 @@ main(int argc, char **argv)
         ropts.trace = trace.get();
     }
 
+    // The pipe sink is shared by every measured run of every sweep
+    // below; each run interleaves its own stream into the one file.
+    std::unique_ptr<smt::obs::PipeTraceSink> pipe_sink;
+    if (!pipe_out.empty()) {
+        pipe_sink = std::make_unique<smt::obs::PipeTraceSink>(pipe_out);
+        ropts.pipeSink = pipe_sink.get();
+    }
+
     if (list) {
         for (const NamedExperiment &e : allExperiments())
             std::printf("%-8s %4zu points  %s\n", e.spec.name.c_str(),
@@ -309,6 +369,7 @@ main(int argc, char **argv)
         sopts.repeats = ropts.measure.runs;
         if (force_generic)
             sopts.dispatch = smt::CoreDispatch::ForceGeneric;
+        sopts.pipeAb = pipe_ab;
         const auto results =
             smt::simspeed::measureAll(smt::simspeed::defaultShapes(),
                                       sopts);
