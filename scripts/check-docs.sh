@@ -64,7 +64,8 @@ if [ -n "$build" ]; then
         "$build/smtsweep-dist" --help
         "$build/smtstore" --help
         "$build/smttrace" --help
-        "$build/smtpipe" --help)"
+        "$build/smtpipe" --help
+        "$build/smtload" --help)"
     for f in "${docs[@]}"; do
         while IFS= read -r flag; do
             skip=0

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# check-storeload.sh RESULTS.json [MIN_CONNECTIONS] — the store load
+# gate CI runs over smtload's output.
+#
+# Validates the document shape (schema smt-storeload-v1, a host
+# fingerprint, at least one measured level) and enforces the
+# concurrency bar:
+#
+#   - every level completed with zero failed requests;
+#   - some level ran at >= MIN_CONNECTIONS concurrent connections
+#     (default 64 — the CI smoke budget; local full runs record 256);
+#   - every level that reached the server's /v1/stats reports a
+#     requests delta >= the client's own op count (the server must
+#     have seen every op the clients counted).
+#
+# Absolute throughput is never gated — it varies wildly across CI
+# hosts; correctness under concurrency is the invariant.
+set -u
+
+current="${1:-}"
+min_conns="${2:-${STORELOAD_MIN_CONNECTIONS:-64}}"
+
+if [ -z "$current" ]; then
+    echo "usage: check-storeload.sh RESULTS.json [MIN_CONNECTIONS]" >&2
+    exit 2
+fi
+if [ ! -f "$current" ]; then
+    echo "check-storeload: results not found: $current" >&2
+    exit 2
+fi
+
+python3 - "$current" "$min_conns" <<'PY'
+import json
+import sys
+
+path, min_conns = sys.argv[1], int(sys.argv[2])
+doc = json.load(open(path))
+
+if doc.get("schema") != "smt-storeload-v1":
+    sys.exit(f"check-storeload: {path}: unexpected schema "
+             f"{doc.get('schema')!r} (want smt-storeload-v1)")
+if not doc.get("host", {}).get("fingerprint"):
+    sys.exit(f"check-storeload: {path}: missing host fingerprint")
+
+levels = doc.get("levels", [])
+if not levels:
+    sys.exit(f"check-storeload: {path}: no measured levels")
+
+failed = []
+top = 0
+print(f"{'conns':>6} {'ops':>9} {'ops/s':>9} {'p50us':>8} {'p99us':>9} "
+      f"{'errors':>7} {'srv delta':>10}")
+for level in levels:
+    conns = level["connections"]
+    ops = level["ops"]
+    errors = level["errors"]
+    delta = level.get("server_requests_delta", -1)
+    lat = level.get("latency_us", {})
+    top = max(top, conns)
+    mark = ""
+    if errors != 0:
+        failed.append(f"{conns} conns: {errors} errors")
+        mark = "  << errors"
+    if delta >= 0 and delta < ops:
+        failed.append(f"{conns} conns: server saw {delta} < {ops} ops")
+        mark += "  << ledger short"
+    print(f"{conns:>6} {ops:>9} {level['ops_per_sec']:>9.0f} "
+          f"{lat.get('p50_us', 0):>8.0f} {lat.get('p99_us', 0):>9.0f} "
+          f"{errors:>7} {delta:>10}{mark}")
+
+if top < min_conns:
+    failed.append(f"highest level {top} is below the {min_conns}-"
+                  f"connection bar")
+
+if failed:
+    print("\ncheck-storeload: FAILED")
+    for reason in failed:
+        print(f"  - {reason}")
+    sys.exit(1)
+print(f"\ncheck-storeload: OK — zero errors through {top} concurrent "
+      f"connections.")
+PY

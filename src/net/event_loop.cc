@@ -1,0 +1,113 @@
+#include "net/event_loop.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace smt::net
+{
+
+bool
+WakeupPipe::open(std::string *error)
+{
+    close();
+    if (::pipe(fds_) != 0) {
+        if (error != nullptr)
+            *error = std::string("cannot open wakeup pipe: ")
+                     + std::strerror(errno);
+        fds_[0] = fds_[1] = -1;
+        return false;
+    }
+    for (const int fd : fds_) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+    return true;
+}
+
+void
+WakeupPipe::close()
+{
+    for (int &fd : fds_) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+}
+
+void
+WakeupPipe::notify()
+{
+    if (fds_[1] < 0)
+        return;
+    const char byte = 1;
+    // EAGAIN = the pipe already holds a wake byte; that is enough.
+    while (::write(fds_[1], &byte, 1) < 0 && errno == EINTR) {
+    }
+}
+
+void
+WakeupPipe::drain()
+{
+    if (fds_[0] < 0)
+        return;
+    char sink[64];
+    while (::read(fds_[0], sink, sizeof sink) > 0) {
+    }
+}
+
+void
+DispatchPool::start(std::size_t threads)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+    for (std::size_t i = threads_.size(); i < threads; ++i)
+        threads_.emplace_back([this] { worker(); });
+}
+
+void
+DispatchPool::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+void
+DispatchPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+DispatchPool::worker()
+{
+    while (true) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !jobs_.empty(); });
+            if (jobs_.empty())
+                return; // stopping, queue drained.
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace smt::net

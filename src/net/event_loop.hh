@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Event-loop plumbing for the non-blocking server: a self-pipe that
+ * wakes poll() from other threads, and a small fixed pool that runs
+ * blocking work (request handlers doing disk I/O or taking the claim
+ * mutex) off the loop thread.
+ *
+ * Both are deliberately tiny and dependency-free; the connection
+ * state machines that use them live in http_server.cc. The pool is
+ * not sweep::ThreadPool because the net layer sits *below* the sweep
+ * layer — store_service links net, so net linking sweep would cycle.
+ */
+
+#ifndef SMT_NET_EVENT_LOOP_HH
+#define SMT_NET_EVENT_LOOP_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smt::net
+{
+
+/**
+ * A self-pipe: notify() from any thread makes the loop's poll() on
+ * readFd() return. Notifications coalesce — a full pipe already means
+ * "wake up", so the non-blocking write that would block is dropped.
+ */
+class WakeupPipe
+{
+  public:
+    WakeupPipe() = default;
+    ~WakeupPipe() { close(); }
+
+    WakeupPipe(const WakeupPipe &) = delete;
+    WakeupPipe &operator=(const WakeupPipe &) = delete;
+
+    bool open(std::string *error = nullptr);
+    void close();
+
+    int readFd() const { return fds_[0]; }
+
+    /** Wake the poller (async-signal unsafe; thread-safe). */
+    void notify();
+
+    /** Swallow pending wake bytes (loop thread, after poll). */
+    void drain();
+
+  private:
+    int fds_[2] = {-1, -1};
+};
+
+/**
+ * A fixed pool of worker threads draining a FIFO of jobs. submit()
+ * never blocks (unbounded queue); stop() finishes everything already
+ * queued, then joins — a dispatched request always gets its handler
+ * run, even across server shutdown.
+ */
+class DispatchPool
+{
+  public:
+    DispatchPool() = default;
+    ~DispatchPool() { stop(); }
+
+    DispatchPool(const DispatchPool &) = delete;
+    DispatchPool &operator=(const DispatchPool &) = delete;
+
+    void start(std::size_t threads);
+    void stop();
+
+    void submit(std::function<void()> job);
+
+  private:
+    void worker();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> jobs_;
+    std::vector<std::thread> threads_;
+    bool stopping_ = false;
+};
+
+} // namespace smt::net
+
+#endif // SMT_NET_EVENT_LOOP_HH

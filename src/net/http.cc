@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/logging.hh"
+
 namespace smt::net
 {
 
@@ -284,6 +286,215 @@ readRequest(BufferedReader &in, HttpRequest &out, std::size_t max_body)
         return false;
     out = std::move(req);
     return true;
+}
+
+// Mirrors readLine()'s cap: an unterminated run longer than this is
+// hostile, not merely slow.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+// Mirrors readHeaderBlock()'s cap on header-block lines.
+constexpr int kMaxHeaderLines = 512;
+
+bool
+RequestParser::nextLine(std::string &line)
+{
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl == std::string::npos) {
+        if (buf_.size() - pos_ > kMaxLineBytes)
+            status_ = Status::Error;
+        return false;
+    }
+    std::size_t end = nl;
+    if (end > pos_ && buf_[end - 1] == '\r')
+        --end;
+    line.assign(buf_, pos_, end - pos_);
+    pos_ = nl + 1;
+    return true;
+}
+
+void
+RequestParser::enterBodyPhase()
+{
+    // Framing decision, in readBody()'s order: chunked wins, then a
+    // declared length, else a request carries no body.
+    if (iequals(req_.headers.get("Transfer-Encoding"), "chunked")) {
+        state_ = State::ChunkSize;
+        return;
+    }
+    if (req_.headers.has("Content-Length")) {
+        const std::string text = req_.headers.get("Content-Length");
+        char *end = nullptr;
+        const unsigned long long len =
+            std::strtoull(text.c_str(), &end, 10);
+        if (end == text.c_str() || *end != '\0' || len > maxBody_) {
+            status_ = Status::Error;
+            return;
+        }
+        bodyRemaining_ = static_cast<std::size_t>(len);
+        if (bodyRemaining_ == 0) {
+            status_ = Status::Complete;
+            return;
+        }
+        state_ = State::FixedBody;
+        return;
+    }
+    status_ = Status::Complete;
+}
+
+void
+RequestParser::advance()
+{
+    std::string line;
+    while (status_ == Status::NeedMore) {
+        switch (state_) {
+        case State::RequestLine: {
+            if (!nextLine(line))
+                return;
+            const std::size_t sp1 = line.find(' ');
+            const std::size_t sp2 =
+                sp1 == std::string::npos ? std::string::npos
+                                         : line.find(' ', sp1 + 1);
+            if (line.empty() || sp2 == std::string::npos) {
+                status_ = Status::Error;
+                return;
+            }
+            req_.method = line.substr(0, sp1);
+            req_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            const std::string version = line.substr(sp2 + 1);
+            if (version.rfind("HTTP/1.", 0) != 0 || req_.target.empty()) {
+                status_ = Status::Error;
+                return;
+            }
+            state_ = State::Headers;
+            headerLines_ = 0;
+            break;
+        }
+        case State::Headers: {
+            if (headerLines_ >= kMaxHeaderLines) {
+                status_ = Status::Error; // absurd header count.
+                return;
+            }
+            if (!nextLine(line))
+                return;
+            ++headerLines_;
+            if (line.empty()) {
+                enterBodyPhase();
+                break;
+            }
+            const std::size_t colon = line.find(':');
+            if (colon == std::string::npos) {
+                status_ = Status::Error;
+                return;
+            }
+            req_.headers.add(trim(line.substr(0, colon)),
+                             trim(line.substr(colon + 1)));
+            break;
+        }
+        case State::FixedBody: {
+            const std::size_t avail = buf_.size() - pos_;
+            if (avail == 0)
+                return;
+            const std::size_t take = std::min(avail, bodyRemaining_);
+            req_.body.append(buf_, pos_, take);
+            pos_ += take;
+            bodyRemaining_ -= take;
+            if (bodyRemaining_ == 0)
+                status_ = Status::Complete;
+            break;
+        }
+        case State::ChunkSize: {
+            if (!nextLine(line))
+                return;
+            // Chunk extensions (";...") are permitted and ignored.
+            const std::string size_text =
+                line.substr(0, line.find(';'));
+            char *end = nullptr;
+            const unsigned long long size =
+                std::strtoull(size_text.c_str(), &end, 16);
+            if (end == size_text.c_str()) {
+                status_ = Status::Error;
+                return;
+            }
+            if (size == 0) {
+                state_ = State::Trailers;
+                break;
+            }
+            // Overflow-proof cap check, same as readChunkedBody().
+            if (size > maxBody_ - req_.body.size()) {
+                status_ = Status::Error;
+                return;
+            }
+            bodyRemaining_ = static_cast<std::size_t>(size);
+            state_ = State::ChunkData;
+            break;
+        }
+        case State::ChunkData: {
+            const std::size_t avail = buf_.size() - pos_;
+            if (avail == 0)
+                return;
+            const std::size_t take = std::min(avail, bodyRemaining_);
+            req_.body.append(buf_, pos_, take);
+            pos_ += take;
+            bodyRemaining_ -= take;
+            if (bodyRemaining_ == 0)
+                state_ = State::ChunkDataEnd;
+            break;
+        }
+        case State::ChunkDataEnd: {
+            if (!nextLine(line))
+                return;
+            if (!line.empty()) {
+                status_ = Status::Error; // chunk data must end in CRLF.
+                return;
+            }
+            state_ = State::ChunkSize;
+            break;
+        }
+        case State::Trailers: {
+            if (!nextLine(line))
+                return;
+            if (line.empty())
+                status_ = Status::Complete;
+            break;
+        }
+        }
+    }
+}
+
+RequestParser::Status
+RequestParser::feed(const char *data, std::size_t n)
+{
+    if (status_ == Status::Error)
+        return status_;
+    // Compact the consumed prefix before it can grow without bound
+    // across a long keep-alive connection.
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ > kMaxLineBytes) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, n);
+    if (status_ == Status::NeedMore)
+        advance();
+    return status_;
+}
+
+HttpRequest
+RequestParser::takeRequest()
+{
+    smt_assert(status_ == Status::Complete,
+               "takeRequest without a complete message");
+    HttpRequest out = std::move(req_);
+    req_ = HttpRequest();
+    buf_.erase(0, pos_);
+    pos_ = 0;
+    state_ = State::RequestLine;
+    status_ = Status::NeedMore;
+    bodyRemaining_ = 0;
+    headerLines_ = 0;
+    advance(); // pipelined bytes may already complete the next one.
+    return out;
 }
 
 bool

@@ -101,6 +101,74 @@ bool readResponse(BufferedReader &in, HttpResponse &out,
                   bool head_request = false,
                   std::size_t max_body = kMaxBodyBytes);
 
+/**
+ * Incremental request parser — the event-loop server's front end.
+ *
+ * feed() bytes exactly as they arrive off a non-blocking socket, in
+ * any chunking; the parser consumes them through the same grammar
+ * readRequest() accepts (request line, capped header block, bodies
+ * framed by Content-Length or chunked encoding with trailers) and
+ * reports three-way status: a complete message, need-more-bytes, or
+ * malformed. That last distinction is the reason this class exists —
+ * the pull-based readRequest() cannot tell a torn stream from a
+ * hostile one without blocking for more input. Accept/reject parity
+ * with readRequest() is pinned by a property test over generated
+ * corpora fed at every chunking.
+ *
+ * Pipelining: bytes past one complete message stay buffered;
+ * takeRequest() hands the message out and immediately resumes on the
+ * leftover, so status() afterwards already describes the next one.
+ */
+class RequestParser
+{
+  public:
+    enum class Status { NeedMore, Complete, Error };
+
+    explicit RequestParser(std::size_t max_body = kMaxBodyBytes)
+        : maxBody_(max_body)
+    {
+    }
+
+    /** Append bytes and advance the machine. Error is sticky; bytes
+     *  fed after Complete buffer for the next message. */
+    Status feed(const char *data, std::size_t n);
+
+    Status status() const { return status_; }
+
+    /** Bytes buffered beyond what parsed messages consumed. */
+    std::size_t bufferedBytes() const { return buf_.size() - pos_; }
+
+    /** Move out the parsed message (status() must be Complete) and
+     *  resume parsing any pipelined bytes already buffered. */
+    HttpRequest takeRequest();
+
+  private:
+    enum class State {
+        RequestLine,
+        Headers,
+        FixedBody,
+        ChunkSize,
+        ChunkData,
+        ChunkDataEnd,
+        Trailers,
+    };
+
+    /** Extract one terminated line; false = need more bytes (or the
+     *  unterminated run blew the line cap, which sets Error). */
+    bool nextLine(std::string &line);
+    void advance();
+    void enterBodyPhase();
+
+    std::size_t maxBody_;
+    Status status_ = Status::NeedMore;
+    State state_ = State::RequestLine;
+    std::string buf_;
+    std::size_t pos_ = 0;
+    HttpRequest req_;
+    std::size_t bodyRemaining_ = 0;
+    int headerLines_ = 0;
+};
+
 } // namespace smt::net
 
 #endif // SMT_NET_HTTP_HH

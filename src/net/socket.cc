@@ -1,5 +1,6 @@
 #include "net/socket.hh"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -40,6 +41,17 @@ Socket::shutdownBoth()
 }
 
 bool
+Socket::setNonBlocking()
+{
+    if (fd_ < 0)
+        return false;
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
 Socket::sendAll(const void *data, std::size_t len)
 {
     const char *p = static_cast<const char *>(data);
@@ -60,6 +72,17 @@ bool
 Socket::sendAll(const std::string &data)
 {
     return sendAll(data.data(), data.size());
+}
+
+long
+Socket::sendSome(const void *buf, std::size_t len)
+{
+    while (true) {
+        const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
 }
 
 long

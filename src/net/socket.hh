@@ -44,6 +44,10 @@ class Socket
      *  another thread without racing the fd's lifetime. */
     void shutdownBoth();
 
+    /** Switch the fd to O_NONBLOCK (the event-loop server's mode);
+     *  false on fcntl failure. */
+    bool setNonBlocking();
+
     /**
      * Write all of `data`, retrying short writes; SIGPIPE suppressed.
      * False on any error (the connection is unusable afterwards).
@@ -53,6 +57,13 @@ class Socket
 
     /** One recv(2); bytes read, 0 on orderly close, -1 on error. */
     long recvSome(void *buf, std::size_t len);
+
+    /**
+     * One send(2); bytes written (possibly short) or -1 on error,
+     * with errno EAGAIN/EWOULDBLOCK when a non-blocking socket's
+     * buffer is full. SIGPIPE suppressed; EINTR retried.
+     */
+    long sendSome(const void *buf, std::size_t len);
 
   private:
     int fd_ = -1;

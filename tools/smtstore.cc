@@ -80,6 +80,19 @@ usage(int code)
         "                  (ts, route, method, status, bytes, latency,\n"
         "                  trace id) — the server half of a sweep\n"
         "                  profile; feed it to smttrace\n"
+        "  --idle-timeout SEC\n"
+        "                  reap a connection that has not delivered a\n"
+        "                  complete request (or drained a response)\n"
+        "                  within SEC seconds — partial bytes do not\n"
+        "                  extend the deadline, so slow-loris clients\n"
+        "                  die here (default 30; 0 disables)\n"
+        "  --max-connections N\n"
+        "                  concurrent connection cap; peers beyond it\n"
+        "                  are accepted and immediately closed\n"
+        "                  (default 1024)\n"
+        "  --dispatch-threads N\n"
+        "                  handler pool width for blocking work —\n"
+        "                  disk I/O, the claim mutex (default 4)\n"
         "  --verbose       log every request (method, path, status,\n"
         "                  bytes, latency, trace id)\n"
         "  --help, -h      print this help\n");
@@ -101,6 +114,9 @@ main(int argc, char **argv)
     std::string access_log;
     unsigned port = 8377;
     bool verbose = false;
+    double idle_timeout = 30.0;
+    unsigned long max_connections = 1024;
+    unsigned long dispatch_threads = 4;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -131,6 +147,42 @@ main(int argc, char **argv)
         }
         else if (std::strcmp(arg, "--token-file") == 0)
             token_file = next_arg(i);
+        else if (std::strcmp(arg, "--idle-timeout") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            idle_timeout = std::strtod(value, &end);
+            if (end == value || *end != '\0' || idle_timeout < 0) {
+                std::fprintf(stderr,
+                             "smtstore: --idle-timeout needs seconds "
+                             ">= 0, got \"%s\"\n",
+                             value);
+                return usage(2);
+            }
+        }
+        else if (std::strcmp(arg, "--max-connections") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            max_connections = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0' || max_connections == 0) {
+                std::fprintf(stderr,
+                             "smtstore: --max-connections needs a "
+                             "positive count, got \"%s\"\n",
+                             value);
+                return usage(2);
+            }
+        }
+        else if (std::strcmp(arg, "--dispatch-threads") == 0) {
+            const char *value = next_arg(i);
+            char *end = nullptr;
+            dispatch_threads = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0' || dispatch_threads == 0) {
+                std::fprintf(stderr,
+                             "smtstore: --dispatch-threads needs a "
+                             "positive count, got \"%s\"\n",
+                             value);
+                return usage(2);
+            }
+        }
         else if (std::strcmp(arg, "--access-log") == 0)
             access_log = next_arg(i);
         else if (std::strcmp(arg, "--ping") == 0)
@@ -231,6 +283,9 @@ main(int argc, char **argv)
     // maintains and the per-route counters the service maintains all
     // surface through the same /v1/stats snapshot.
     server.setMetrics(&service.metrics());
+    server.setIdleTimeout(idle_timeout);
+    server.setMaxConnections(max_connections);
+    server.setDispatchThreads(dispatch_threads);
     std::string error;
     if (!server.start(bind_addr, static_cast<std::uint16_t>(port),
                       [&service](const net::HttpRequest &req) {
